@@ -1,0 +1,106 @@
+// Ablations for the design choices DESIGN.md calls out:
+//   1. reserve_slots: the literal "freeSlots - 1" of Fig. 2 vs 0.
+//   2. protect_top_job: Fig. 2/3's `index > 0` walk (never shrink the
+//      highest-priority running job) vs considering all victims.
+//   3. Out-of-order allocation: elastic/moldable sizing vs strict
+//      rigid-by-priority (rigid max), the paper's motivation for (b) in §3.2.
+//   4. Load-balancer strategy inside the runtime: greedy vs refine rescale
+//      cost measured on minicharm.
+//
+// Usage: ablation_policies [repeats=40] [seed=2025]
+
+#include <iostream>
+
+#include "apps/calibration.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "schedsim/calibrate.hpp"
+#include "schedsim/simulator.hpp"
+
+using namespace ehpc;
+using elastic::PolicyMode;
+
+namespace {
+
+elastic::RunMetrics run_averaged(const elastic::PolicyConfig& pc, int repeats,
+                                 unsigned seed,
+                                 const std::map<elastic::JobClass, elastic::Workload>& w) {
+  std::vector<elastic::RunMetrics> runs;
+  for (int rep = 0; rep < repeats; ++rep) {
+    schedsim::JobMixGenerator gen(seed + static_cast<unsigned>(rep));
+    schedsim::SchedSimulator sim(64, pc, w);
+    runs.push_back(sim.run(gen.generate(16, 90.0)).metrics);
+  }
+  return elastic::average_metrics(runs);
+}
+
+void add_metrics_row(Table& t, const std::string& label,
+                     const elastic::RunMetrics& m) {
+  t.add_row({label, format_double(m.total_time_s, 1),
+             format_double(m.utilization, 4),
+             format_double(m.weighted_response_s, 2),
+             format_double(m.weighted_completion_s, 2)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int repeats = cfg.get_int("repeats", 40);
+  const unsigned seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
+  const auto workloads = schedsim::analytic_workloads();
+  const std::vector<std::string> headers{"variant", "total_s", "utilization",
+                                         "response_s", "completion_s"};
+
+  std::cout << "== Ablation 1: reserve_slots (the 'freeSlots - 1' of Fig. 2) ==\n";
+  Table t1(headers);
+  for (int reserve : {0, 1, 2}) {
+    elastic::PolicyConfig pc;
+    pc.mode = PolicyMode::kElastic;
+    pc.rescale_gap_s = 180.0;
+    pc.reserve_slots = reserve;
+    add_metrics_row(t1, "reserve=" + std::to_string(reserve),
+                    run_averaged(pc, repeats, seed, workloads));
+  }
+  std::cout << t1.to_text() << "\n";
+
+  std::cout << "== Ablation 2: protect_top_job (Fig. 2/3 walks index > 0) ==\n";
+  Table t2(headers);
+  for (bool protect : {true, false}) {
+    elastic::PolicyConfig pc;
+    pc.mode = PolicyMode::kElastic;
+    pc.rescale_gap_s = 180.0;
+    pc.protect_top_job = protect;
+    add_metrics_row(t2, protect ? "protected (paper)" : "all victims",
+                    run_averaged(pc, repeats, seed, workloads));
+  }
+  std::cout << t2.to_text() << "\n";
+
+  std::cout << "== Ablation 3: out-of-order allocation (moldable sizing) vs "
+               "rigid priority order ==\n";
+  Table t3(headers);
+  for (auto mode : {PolicyMode::kMoldable, PolicyMode::kRigidMax}) {
+    elastic::PolicyConfig pc;
+    pc.mode = mode;
+    pc.rescale_gap_s = 180.0;
+    add_metrics_row(t3, elastic::to_string(mode),
+                    run_averaged(pc, repeats, seed, workloads));
+  }
+  std::cout << t3.to_text() << "\n";
+
+  std::cout << "== Ablation 4: runtime LB strategy during a 32->16 shrink "
+               "(Jacobi 8192^2, minicharm) ==\n";
+  Table t4({"strategy", "lb_s", "ckpt_s", "restart_s", "restore_s", "total_s",
+            "migrated_objects"});
+  for (const std::string lb : {"greedy", "refine", "null"}) {
+    charm::RuntimeConfig rc;
+    rc.load_balancer = lb;
+    const auto t = apps::measure_jacobi_rescale(8192, 32, 16, 3, rc);
+    t4.add_row({lb, format_double(t.load_balance_s, 4),
+                format_double(t.checkpoint_s, 4), format_double(t.restart_s, 4),
+                format_double(t.restore_s, 4), format_double(t.total(), 4),
+                std::to_string(t.migrated_objects)});
+  }
+  std::cout << t4.to_text();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces paper Figure 4: strong scaling of Charm++ applications on the
+// (emulated) Kubernetes cluster.
+//   Fig 4a: Jacobi2D time per iteration vs replicas, grids 2048/8192/16384.
+//   Fig 4b: LeanMD time per step vs replicas, cells 4x4x4 / 4x4x8 / 4x8x8.
+//
+// Usage: fig4_scaling [iters=12] [csv=false]
+
+#include <iostream>
+
+#include "apps/calibration.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+
+using namespace ehpc;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int iters = cfg.get_int("iters", 12);
+  const bool csv = cfg.get_bool("csv", false);
+  const std::vector<int> replicas{4, 8, 16, 32, 64};
+
+  std::cout << "== Figure 4a: Jacobi2D strong scaling (time per iteration, s) ==\n";
+  Table jacobi({"replicas", "2048x2048", "8192x8192", "16384x16384"});
+  std::vector<std::vector<apps::ScalingPoint>> jcols;
+  for (int grid : {2048, 8192, 16384}) {
+    jcols.push_back(apps::measure_jacobi_scaling(grid, replicas, iters));
+  }
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    jacobi.add_row({std::to_string(replicas[i]),
+                    format_double(jcols[0][i].time_per_step_s, 5),
+                    format_double(jcols[1][i].time_per_step_s, 5),
+                    format_double(jcols[2][i].time_per_step_s, 5)});
+  }
+  std::cout << (csv ? jacobi.to_csv() : jacobi.to_text()) << "\n";
+
+  std::cout << "== Figure 4b: LeanMD strong scaling (time per step, s) ==\n";
+  Table leanmd({"replicas", "4x4x4", "4x4x8", "4x8x8"});
+  std::vector<std::vector<apps::ScalingPoint>> lcols;
+  for (auto [cy, cz] : {std::pair{4, 4}, std::pair{4, 8}, std::pair{8, 8}}) {
+    apps::LeanMdConfig md;
+    md.cells_x = 4;
+    md.cells_y = cy;
+    md.cells_z = cz;
+    md.atoms_per_cell = 400;
+    md.real_atoms_per_cell = 8;
+    md.max_iterations = iters;
+    lcols.push_back(apps::measure_leanmd_scaling(md, replicas));
+  }
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    leanmd.add_row({std::to_string(replicas[i]),
+                    format_double(lcols[0][i].time_per_step_s, 5),
+                    format_double(lcols[1][i].time_per_step_s, 5),
+                    format_double(lcols[2][i].time_per_step_s, 5)});
+  }
+  std::cout << (csv ? leanmd.to_csv() : leanmd.to_text()) << "\n";
+
+  // Shape check the paper reports: large problems keep scaling; small ones
+  // flatten.
+  const double speedup_16k =
+      jcols[2].front().time_per_step_s / jcols[2].back().time_per_step_s;
+  const double speedup_2k =
+      jcols[0].front().time_per_step_s / jcols[0].back().time_per_step_s;
+  std::cout << "Jacobi 4->64 replica speedup: 16384^2 = "
+            << format_double(speedup_16k, 2)
+            << "x, 2048^2 = " << format_double(speedup_2k, 2) << "x\n";
+  return 0;
+}

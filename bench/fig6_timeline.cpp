@@ -1,0 +1,73 @@
+// Reproduces paper Figure 6: Jacobi2D (16384^2) timeline with a shrink from
+// 32 to 16 replicas and a later expand back to 32.
+//   Fig 6a: time taken by each consecutive 10-iteration window.
+//   Fig 6b: timestamp at which every 10th iteration completes (the rescale
+//           gaps appear as jumps; the slope change shows the speed change).
+//
+// Usage: fig6_timeline [iters=3000] [shrink_at=1000] [expand_at=2000]
+//                      [sample=10] [csv=false]
+
+#include <iostream>
+
+#include "apps/calibration.hpp"
+#include "apps/jacobi2d.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+
+using namespace ehpc;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int iters = cfg.get_int("iters", 3000);
+  const int shrink_at = cfg.get_int("shrink_at", 1000);
+  const int expand_at = cfg.get_int("expand_at", 2000);
+  const int sample = cfg.get_int("sample", 10);
+  const bool csv = cfg.get_bool("csv", false);
+
+  charm::RuntimeConfig rc;
+  rc.num_pes = 32;
+  charm::Runtime rt(rc);
+  apps::Jacobi2D app(rt, apps::jacobi_for_grid(16384, iters));
+  app.driver().at_iteration(shrink_at,
+                            [](charm::Runtime& r) { r.ccs().request_rescale(16); });
+  app.driver().at_iteration(expand_at,
+                            [](charm::Runtime& r) { r.ccs().request_rescale(32); });
+  app.start();
+  rt.run();
+
+  const auto& times = app.driver().iteration_end_times();
+  std::cout << "== Figure 6a/6b: per-" << sample
+            << "-iteration window time and completion timestamps ==\n";
+  Table table({"iteration", "window_time_s", "timestamp_s"});
+  for (std::size_t i = static_cast<std::size_t>(sample); i < times.size();
+       i += static_cast<std::size_t>(sample)) {
+    table.add_row({std::to_string(i),
+                   format_double(times[i] - times[i - static_cast<std::size_t>(sample)], 4),
+                   format_double(times[i], 2)});
+  }
+  std::cout << (csv ? table.to_csv() : table.to_text()) << "\n";
+
+  std::cout << "== Rescale events ==\n";
+  for (const auto& t : rt.rescale_history()) {
+    std::cout << (t.direction == charm::RescaleDirection::kShrink ? "shrink"
+                                                                  : "expand")
+              << " " << t.old_pes << " -> " << t.new_pes
+              << ": lb=" << format_double(t.load_balance_s, 3)
+              << "s ckpt=" << format_double(t.checkpoint_s, 3)
+              << "s restart=" << format_double(t.restart_s, 3)
+              << "s restore=" << format_double(t.restore_s, 3)
+              << "s total=" << format_double(t.total(), 3) << "s\n";
+  }
+
+  // Steady-state window times in the three regimes.
+  auto window_at = [&](int iter) {
+    return times[static_cast<std::size_t>(iter)] -
+           times[static_cast<std::size_t>(iter - sample)];
+  };
+  std::cout << "\nWindow time before shrink: "
+            << format_double(window_at(shrink_at - sample), 4)
+            << "s, while shrunk: " << format_double(window_at(expand_at - sample), 4)
+            << "s, after expand: " << format_double(window_at(iters - sample), 4)
+            << "s\n";
+  return 0;
+}

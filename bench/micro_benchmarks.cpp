@@ -1,0 +1,136 @@
+// google-benchmark micro-benchmarks for the substrate hot paths: DES event
+// dispatch, minicharm message delivery, load-balancing strategies, PUP
+// serialization, and the policy engine itself.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "charm/load_balancer.hpp"
+#include "charm/pup.hpp"
+#include "charm/runtime.hpp"
+#include "common/piecewise_linear.hpp"
+#include "common/rng.hpp"
+#include "elastic/policy.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace ehpc;
+
+void BM_SimulationEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>(i), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationEventDispatch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+struct NopChare final : charm::Chare {
+  void pup(charm::Pup&) override {}
+};
+
+void BM_RuntimeMessageDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    charm::RuntimeConfig cfg;
+    cfg.num_pes = 16;
+    charm::Runtime rt(cfg);
+    auto array = rt.create_array("a", 64, [](charm::ElementId) {
+      return std::make_unique<NopChare>();
+    });
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      rt.send(array, i % 64, 64, [](charm::Chare&, charm::Runtime&) {});
+    }
+    benchmark::DoNotOptimize(rt.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RuntimeMessageDelivery)->Arg(1000)->Arg(10000);
+
+void BM_LoadBalancer(benchmark::State& state, const char* name) {
+  Rng rng(7);
+  std::vector<charm::LbObject> objects;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    charm::LbObject o;
+    o.elem = i;
+    o.load = rng.uniform(0.1, 2.0);
+    o.current_pe = static_cast<charm::PeId>(rng.uniform_int(0, 63));
+    objects.push_back(o);
+  }
+  std::vector<charm::PeId> pes(32);
+  std::iota(pes.begin(), pes.end(), 0);
+  auto lb = charm::make_load_balancer(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb->assign(objects, pes));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_LoadBalancer, greedy, "greedy")->Arg(256)->Arg(4096);
+BENCHMARK_CAPTURE(BM_LoadBalancer, refine, "refine")->Arg(256)->Arg(4096);
+
+struct BigChare final : charm::Chare {
+  std::vector<double> data;
+  void pup(charm::Pup& p) override { p | data; }
+};
+
+void BM_PupPackUnpack(benchmark::State& state) {
+  BigChare a;
+  a.data.assign(static_cast<std::size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    std::vector<std::byte> buf;
+    charm::Pup packer = charm::Pup::packer(buf);
+    a.pup(packer);
+    BigChare b;
+    charm::Pup unpacker = charm::Pup::unpacker(buf);
+    b.pup(unpacker);
+    benchmark::DoNotOptimize(b.data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(sizeof(double)) * 2);
+}
+BENCHMARK(BM_PupPackUnpack)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_PiecewiseLinearEval(benchmark::State& state) {
+  std::vector<std::pair<double, double>> pts;
+  for (int i = 1; i <= 128; i *= 2) pts.emplace_back(i, 100.0 / i);
+  PiecewiseLinear f(pts);
+  double x = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.at(x));
+    x = x < 120.0 ? x + 0.37 : 1.0;
+  }
+}
+BENCHMARK(BM_PiecewiseLinearEval);
+
+void BM_PolicyEngineSubmitComplete(benchmark::State& state) {
+  for (auto _ : state) {
+    elastic::PolicyConfig cfg;
+    cfg.mode = elastic::PolicyMode::kElastic;
+    cfg.rescale_gap_s = 0.0;
+    elastic::PolicyEngine eng(64, cfg);
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      elastic::JobSpec spec;
+      spec.id = i;
+      spec.min_replicas = 4;
+      spec.max_replicas = 16;
+      spec.priority = 1 + i % 5;
+      eng.submit(spec, static_cast<double>(i));
+    }
+    for (int i = 0; i < n; ++i) {
+      if (eng.job(i).running) eng.complete(i, 1000.0 + i);
+    }
+    benchmark::DoNotOptimize(eng.free_slots());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PolicyEngineSubmitComplete)->Arg(16)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Shrink/expand on a live application: runs the Jacobi2D heat solver on the
+// minicharm runtime and rescales it mid-run through the CCS control
+// endpoint, exactly the mechanism the paper's operator uses (§2.2, §3.1).
+//
+// Usage: jacobi_rescale [grid=4096] [pes=16] [iters=60]
+//                       [shrink_at=20] [expand_at=40]
+
+#include <iostream>
+
+#include "apps/calibration.hpp"
+#include "apps/jacobi2d.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+
+using namespace ehpc;
+
+int main(int argc, char** argv) {
+  const Config args = Config::from_args(argc, argv);
+  const int grid = args.get_int("grid", 4096);
+  const int pes = args.get_int("pes", 16);
+  const int iters = args.get_int("iters", 60);
+  const int shrink_at = args.get_int("shrink_at", 20);
+  const int expand_at = args.get_int("expand_at", 40);
+
+  charm::RuntimeConfig rc;
+  rc.num_pes = pes;
+  charm::Runtime rt(rc);
+  apps::Jacobi2D app(rt, apps::jacobi_for_grid(grid, iters));
+
+  // Post CCS rescale commands at iteration boundaries, as the external
+  // scheduler would. The application honours them at its next
+  // load-balancing step and acknowledges when done.
+  app.driver().at_iteration(shrink_at, [pes](charm::Runtime& r) {
+    std::cout << "[ccs] requesting shrink to " << pes / 2 << " PEs\n";
+    r.ccs().request_rescale(pes / 2, [](const charm::RescaleTiming& t) {
+      std::cout << "[ack] shrink done in " << format_double(t.total(), 3)
+                << " s\n";
+    });
+  });
+  app.driver().at_iteration(expand_at, [pes](charm::Runtime& r) {
+    std::cout << "[ccs] requesting expand back to " << pes << " PEs\n";
+    r.ccs().request_rescale(pes, [](const charm::RescaleTiming& t) {
+      std::cout << "[ack] expand done in " << format_double(t.total(), 3)
+                << " s\n";
+    });
+  });
+
+  app.start();
+  rt.run();
+
+  std::cout << "\nFinished " << app.driver().iterations_done()
+            << " iterations, residual " << app.residual() << "\n\n";
+
+  Table table({"stage", "shrink_s", "expand_s"});
+  const auto& history = rt.rescale_history();
+  if (history.size() == 2) {
+    const auto& s = history[0];
+    const auto& e = history[1];
+    table.add_row({"load balance", format_double(s.load_balance_s, 4),
+                   format_double(e.load_balance_s, 4)});
+    table.add_row({"checkpoint", format_double(s.checkpoint_s, 4),
+                   format_double(e.checkpoint_s, 4)});
+    table.add_row({"restart", format_double(s.restart_s, 4),
+                   format_double(e.restart_s, 4)});
+    table.add_row({"restore", format_double(s.restore_s, 4),
+                   format_double(e.restore_s, 4)});
+    table.add_row({"total", format_double(s.total(), 4),
+                   format_double(e.total(), 4)});
+    std::cout << table.to_text();
+  }
+
+  // Per-iteration time in the three regimes.
+  const auto& times = app.driver().iteration_end_times();
+  auto step = [&](int a, int b) {
+    return (times[static_cast<std::size_t>(b)] -
+            times[static_cast<std::size_t>(a)]) /
+           (b - a);
+  };
+  std::cout << "\ntime/iter at " << pes << " PEs: "
+            << format_double(step(2, shrink_at - 1), 4) << " s; at " << pes / 2
+            << " PEs: " << format_double(step(shrink_at + 1, expand_at - 1), 4)
+            << " s; after expand: "
+            << format_double(step(expand_at + 1, iters - 1), 4) << " s\n";
+  return 0;
+}

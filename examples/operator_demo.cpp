@@ -1,0 +1,61 @@
+// Drives the Charm++ operator directly on the Kubernetes substrate — the
+// CRD/controller mechanics without any scheduling policy: create a CharmJob,
+// watch its worker pods come up, shrink it, expand it, and tear it down,
+// printing every pod transition (the equivalent of `kubectl get pods -w`).
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "k8s/cluster.hpp"
+#include "opk/controller.hpp"
+
+using namespace ehpc;
+
+int main() {
+  k8s::Cluster cluster;
+  cluster.add_nodes("node", 4, {16, 32768});
+  k8s::ObjectStore<opk::CharmJob> jobs;
+  opk::CharmJobController controller(cluster, jobs, {});
+
+  // Watch pod transitions like `kubectl get pods -w`.
+  cluster.pods().watch([&](k8s::WatchEvent event, const k8s::Pod& pod) {
+    const char* verb = event == k8s::WatchEvent::kAdded      ? "ADDED   "
+                       : event == k8s::WatchEvent::kModified ? "MODIFIED"
+                                                             : "DELETED ";
+    std::cout << "[t=" << format_double(cluster.sim().now(), 2) << "s] " << verb
+              << " " << pod.meta.name << "  phase=" << to_string(pod.phase)
+              << (pod.node_name.empty() ? "" : "  node=" + pod.node_name)
+              << "\n";
+  });
+
+  std::cout << "--- kubectl apply -f charmjob.yaml (8 workers) ---\n";
+  opk::CharmJob job;
+  job.meta.name = "jacobi";
+  job.desired_replicas = 8;
+  job.phase = opk::CharmJobPhase::kLaunching;
+  jobs.add(std::move(job));
+  cluster.sim().run();
+
+  std::cout << "\nnodelist: ";
+  for (const auto& entry : jobs.get("jacobi").nodelist) std::cout << entry << " ";
+  std::cout << "\n\n--- scale down to 4 workers (after the app acked) ---\n";
+  jobs.mutate("jacobi", [](opk::CharmJob& j) { j.desired_replicas = 4; });
+  cluster.sim().run();
+
+  std::cout << "\n--- scale back up to 12 workers ---\n";
+  jobs.mutate("jacobi", [](opk::CharmJob& j) { j.desired_replicas = 12; });
+  cluster.sim().run();
+
+  std::cout << "\nnodelist now has " << jobs.get("jacobi").nodelist.size()
+            << " entries; cluster uses " << cluster.used_cpus() << "/"
+            << cluster.total_cpus() << " vCPUs\n";
+
+  std::cout << "\n--- job completes: teardown ---\n";
+  jobs.mutate("jacobi",
+              [](opk::CharmJob& j) { j.phase = opk::CharmJobPhase::kCompleted; });
+  cluster.sim().run();
+  std::cout << "\ncluster uses " << cluster.used_cpus() << "/"
+            << cluster.total_cpus() << " vCPUs; reconciles run: "
+            << controller.reconcile_count() << "\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Replay a job trace under all four scheduling policies and compare the
+// paper's four metrics. The trace is either generated (seed=) or read from a
+// CSV file with lines: id,class,priority,submit_time
+// where class is one of small|medium|large|xlarge.
+//
+// Usage: trace_replay [seed=7] [jobs=16] [gap=90] [rescale_gap=180]
+//                     [trace=path.csv]
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "schedsim/calibrate.hpp"
+#include "schedsim/simulator.hpp"
+
+using namespace ehpc;
+using elastic::PolicyMode;
+
+namespace {
+
+elastic::JobClass class_from_string(const std::string& s) {
+  if (s == "small") return elastic::JobClass::kSmall;
+  if (s == "medium") return elastic::JobClass::kMedium;
+  if (s == "large") return elastic::JobClass::kLarge;
+  if (s == "xlarge") return elastic::JobClass::kXLarge;
+  throw PreconditionError("unknown job class in trace: " + s);
+}
+
+std::vector<schedsim::SubmittedJob> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw PreconditionError("cannot open trace file: " + path);
+  std::vector<schedsim::SubmittedJob> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string id_s, cls_s, prio_s, t_s;
+    if (!std::getline(ls, id_s, ',') || !std::getline(ls, cls_s, ',') ||
+        !std::getline(ls, prio_s, ',') || !std::getline(ls, t_s, ',')) {
+      throw PreconditionError("malformed trace line: " + line);
+    }
+    schedsim::SubmittedJob job;
+    const auto cls = class_from_string(cls_s);
+    job.spec = elastic::spec_for_class(cls, std::atoi(id_s.c_str()),
+                                       std::atoi(prio_s.c_str()));
+    job.job_class = cls;
+    job.submit_time = std::atof(t_s.c_str());
+    out.push_back(job);
+  }
+  if (out.empty()) throw PreconditionError("trace file has no jobs: " + path);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  std::vector<schedsim::SubmittedJob> mix;
+  if (auto trace = cfg.get("trace")) {
+    mix = load_trace(*trace);
+    std::cout << "Replaying " << mix.size() << " jobs from " << *trace << "\n\n";
+  } else {
+    schedsim::JobMixGenerator gen(static_cast<unsigned>(cfg.get_int("seed", 7)));
+    mix = gen.generate(cfg.get_int("jobs", 16), cfg.get_double("gap", 90.0));
+    std::cout << "Replaying a generated mix of " << mix.size() << " jobs\n\n";
+  }
+
+  const auto workloads = schedsim::calibrated_workloads();
+  Table table({"scheduler", "total_s", "utilization", "response_s",
+               "completion_s", "rescales"});
+  for (auto mode : {PolicyMode::kRigidMin, PolicyMode::kRigidMax,
+                    PolicyMode::kMoldable, PolicyMode::kElastic}) {
+    elastic::PolicyConfig pc;
+    pc.mode = mode;
+    pc.rescale_gap_s = cfg.get_double("rescale_gap", 180.0);
+    schedsim::SchedSimulator sim(64, pc, workloads);
+    const auto result = sim.run(mix);
+    table.add_row({elastic::to_string(mode),
+                   format_double(result.metrics.total_time_s, 1),
+                   format_double(result.metrics.utilization, 4),
+                   format_double(result.metrics.weighted_response_s, 2),
+                   format_double(result.metrics.weighted_completion_s, 2),
+                   std::to_string(result.rescale_count)});
+  }
+  std::cout << table.to_text();
+  return 0;
+}

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/jacobi2d.hpp"
+#include "apps/leanmd.hpp"
+#include "charm/rescale.hpp"
+#include "charm/runtime.hpp"
+#include "common/piecewise_linear.hpp"
+
+namespace ehpc::apps {
+
+/// One strong-scaling measurement: steady-state time per step at a replica
+/// count. These curves feed the scheduler simulator (paper §4.3.1: "We use
+/// strong scaling performance measurements ... to model the runtime of a job
+/// for a given number of replicas using a piecewise linear function").
+struct ScalingPoint {
+  int replicas = 0;
+  double time_per_step_s = 0.0;
+};
+
+/// Canonical Jacobi configuration for a given model grid size: 16×16 blocks
+/// (4× overdecomposition at 64 PEs), suitable for all four paper job sizes.
+JacobiConfig jacobi_for_grid(int grid_n, int max_iterations = 12);
+
+/// Run Jacobi2D on the minicharm runtime at each replica count and measure
+/// the steady-state time per iteration (first iteration discarded as warmup).
+std::vector<ScalingPoint> measure_jacobi_scaling(
+    int grid_n, const std::vector<int>& replica_counts, int iterations = 12,
+    charm::RuntimeConfig base = {});
+
+/// Same measurement for LeanMD.
+std::vector<ScalingPoint> measure_leanmd_scaling(
+    LeanMdConfig config, const std::vector<int>& replica_counts,
+    charm::RuntimeConfig base = {});
+
+/// Run Jacobi2D at `from_replicas`, post a CCS rescale to `to_replicas`
+/// after `warmup_iterations`, and return the per-stage timing (paper §4.2).
+charm::RescaleTiming measure_jacobi_rescale(int grid_n, int from_replicas,
+                                            int to_replicas,
+                                            int warmup_iterations = 3,
+                                            charm::RuntimeConfig base = {});
+
+/// Piecewise-linear time-per-step(replicas) curve from scaling points.
+PiecewiseLinear scaling_curve(const std::vector<ScalingPoint>& points);
+
+}  // namespace ehpc::apps

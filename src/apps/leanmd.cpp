@@ -1,0 +1,215 @@
+#include "apps/leanmd.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ehpc::apps {
+
+using charm::Chare;
+using charm::Pup;
+using charm::ReduceOp;
+using charm::Runtime;
+
+namespace {
+constexpr double kEpsilon = 1.0;    // LJ well depth
+constexpr double kSigma = 0.3;      // LJ zero-crossing distance
+constexpr double kMinR2 = 0.01;     // softening to avoid singularities
+constexpr double kMass = 1.0;
+
+/// LJ force magnitude / r and pair energy for squared distance r2.
+struct LjTerm {
+  double force_over_r;
+  double energy;
+};
+
+LjTerm lennard_jones(double r2) {
+  const double inv_r2 = 1.0 / std::max(r2, kMinR2);
+  const double s2 = kSigma * kSigma * inv_r2;
+  const double s6 = s2 * s2 * s2;
+  const double s12 = s6 * s6;
+  return LjTerm{24.0 * kEpsilon * (2.0 * s12 - s6) * inv_r2,
+                4.0 * kEpsilon * (s12 - s6)};
+}
+}  // namespace
+
+MdCell::MdCell(int num_atoms, int num_neighbors, unsigned seed,
+               std::array<double, 3> origin)
+    : num_atoms_(num_atoms), num_neighbors_(num_neighbors) {
+  EHPC_EXPECTS(num_atoms_ > 0);
+  pos_.resize(static_cast<std::size_t>(3 * num_atoms_));
+  vel_.assign(static_cast<std::size_t>(3 * num_atoms_), 0.0);
+  force_.assign(static_cast<std::size_t>(3 * num_atoms_), 0.0);
+  Rng rng(seed);
+  for (int a = 0; a < num_atoms_; ++a) {
+    for (int d = 0; d < 3; ++d) {
+      pos_[static_cast<std::size_t>(3 * a + d)] = origin[static_cast<std::size_t>(d)] + rng.uniform(0.0, 1.0);
+    }
+  }
+}
+
+void MdCell::pup(Pup& p) {
+  p | num_atoms_;
+  p | num_neighbors_;
+  p | iteration_;
+  p | recv_count_;
+  p | started_;
+  p | pos_;
+  p | vel_;
+  p | force_;
+}
+
+double MdCell::interact(const std::vector<double>& other) {
+  EHPC_EXPECTS(other.size() % 3 == 0);
+  const int m = static_cast<int>(other.size() / 3);
+  double energy = 0.0;
+  for (int i = 0; i < num_atoms_; ++i) {
+    const double xi = pos_[static_cast<std::size_t>(3 * i)];
+    const double yi = pos_[static_cast<std::size_t>(3 * i + 1)];
+    const double zi = pos_[static_cast<std::size_t>(3 * i + 2)];
+    for (int j = 0; j < m; ++j) {
+      const double dx = xi - other[static_cast<std::size_t>(3 * j)];
+      const double dy = yi - other[static_cast<std::size_t>(3 * j + 1)];
+      const double dz = zi - other[static_cast<std::size_t>(3 * j + 2)];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      const LjTerm lj = lennard_jones(r2);
+      force_[static_cast<std::size_t>(3 * i)] += lj.force_over_r * dx;
+      force_[static_cast<std::size_t>(3 * i + 1)] += lj.force_over_r * dy;
+      force_[static_cast<std::size_t>(3 * i + 2)] += lj.force_over_r * dz;
+      energy += 0.5 * lj.energy;  // half: the pair is counted by both cells
+    }
+  }
+  ++recv_count_;
+  return energy;
+}
+
+double MdCell::integrate(double dt) {
+  // Self-interactions within the cell (each unordered pair once).
+  for (int i = 0; i < num_atoms_; ++i) {
+    for (int j = i + 1; j < num_atoms_; ++j) {
+      const double dx = pos_[static_cast<std::size_t>(3 * i)] - pos_[static_cast<std::size_t>(3 * j)];
+      const double dy = pos_[static_cast<std::size_t>(3 * i + 1)] - pos_[static_cast<std::size_t>(3 * j + 1)];
+      const double dz = pos_[static_cast<std::size_t>(3 * i + 2)] - pos_[static_cast<std::size_t>(3 * j + 2)];
+      const LjTerm lj = lennard_jones(dx * dx + dy * dy + dz * dz);
+      force_[static_cast<std::size_t>(3 * i)] += lj.force_over_r * dx;
+      force_[static_cast<std::size_t>(3 * i + 1)] += lj.force_over_r * dy;
+      force_[static_cast<std::size_t>(3 * i + 2)] += lj.force_over_r * dz;
+      force_[static_cast<std::size_t>(3 * j)] -= lj.force_over_r * dx;
+      force_[static_cast<std::size_t>(3 * j + 1)] -= lj.force_over_r * dy;
+      force_[static_cast<std::size_t>(3 * j + 2)] -= lj.force_over_r * dz;
+    }
+  }
+  for (std::size_t k = 0; k < pos_.size(); ++k) {
+    vel_[k] += force_[k] / kMass * dt;
+    pos_[k] += vel_[k] * dt;
+    force_[k] = 0.0;
+  }
+  ++iteration_;
+  recv_count_ = 0;
+  started_ = false;
+  return kinetic_energy();
+}
+
+double MdCell::kinetic_energy() const {
+  double ke = 0.0;
+  for (double v : vel_) ke += 0.5 * kMass * v * v;
+  return ke;
+}
+
+LeanMd::LeanMd(Runtime& rt, LeanMdConfig config) : rt_(rt), config_(config) {
+  EHPC_EXPECTS(config_.cells_x > 0 && config_.cells_y > 0 && config_.cells_z > 0);
+  EHPC_EXPECTS(config_.atoms_per_cell > 0 && config_.real_atoms_per_cell > 0);
+
+  const double model_atoms = static_cast<double>(config_.atoms_per_cell);
+  flops_per_exchange_ = config_.flops_per_pair * model_atoms * model_atoms;
+  flops_self_ = config_.flops_per_pair * model_atoms * (model_atoms - 1.0) / 2.0;
+  position_bytes_ =
+      static_cast<std::size_t>(config_.atoms_per_cell) * 3 * sizeof(double);
+
+  const int nx = config_.cells_x;
+  const int ny = config_.cells_y;
+  array_ = rt_.create_array(
+      "leanmd", num_cells(), [this, nx, ny](charm::ElementId e) {
+        const int cx = e % nx;
+        const int cy = (e / nx) % ny;
+        const int cz = e / (nx * ny);
+        return std::make_unique<MdCell>(
+            config_.real_atoms_per_cell, neighbor_count(cx, cy, cz),
+            config_.seed + static_cast<unsigned>(e),
+            std::array<double, 3>{static_cast<double>(cx),
+                                  static_cast<double>(cy),
+                                  static_cast<double>(cz)});
+      });
+
+  const double model_cell_bytes = model_atoms * 9.0 * sizeof(double);
+  const double real_cell_bytes =
+      static_cast<double>(config_.real_atoms_per_cell) * 9.0 * sizeof(double);
+  rt_.set_bytes_scale(array_, std::max(1.0, model_cell_bytes / real_cell_bytes));
+
+  driver_ = std::make_unique<IterationDriver>(
+      rt_, array_, config_.max_iterations, [this](int iter) { kick(iter); });
+}
+
+int LeanMd::cell_index(int cx, int cy, int cz) const {
+  return (cz * config_.cells_y + cy) * config_.cells_x + cx;
+}
+
+int LeanMd::neighbor_count(int cx, int cy, int cz) const {
+  int count = 0;
+  if (cx > 0) ++count;
+  if (cx + 1 < config_.cells_x) ++count;
+  if (cy > 0) ++count;
+  if (cy + 1 < config_.cells_y) ++count;
+  if (cz > 0) ++count;
+  if (cz + 1 < config_.cells_z) ++count;
+  return count;
+}
+
+void LeanMd::maybe_integrate(MdCell& cell, Runtime& rt) {
+  if (!cell.ready_to_integrate()) return;
+  rt.charge_flops(flops_self_);
+  const double ke = cell.integrate(config_.dt);
+  rt.contribute(array_, ke, ReduceOp::kSum);
+}
+
+void LeanMd::send_positions(int cx, int cy, int cz, int dim, int dir) {
+  int tx = cx + (dim == 0 ? dir : 0);
+  int ty = cy + (dim == 1 ? dir : 0);
+  int tz = cz + (dim == 2 ? dir : 0);
+  if (tx < 0 || tx >= config_.cells_x || ty < 0 || ty >= config_.cells_y ||
+      tz < 0 || tz >= config_.cells_z) {
+    return;
+  }
+  auto& from = static_cast<MdCell&>(rt_.element(array_, cell_index(cx, cy, cz)));
+  std::vector<double> data = from.positions();
+  rt_.send(array_, cell_index(tx, ty, tz), position_bytes_,
+           [this, data = std::move(data)](Chare& c, Runtime& rt) {
+             auto& cell = static_cast<MdCell&>(c);
+             rt.charge_flops(flops_per_exchange_);
+             cell.interact(data);
+             maybe_integrate(cell, rt);
+           });
+}
+
+void LeanMd::kick(int /*iteration*/) {
+  for (int cz = 0; cz < config_.cells_z; ++cz) {
+    for (int cy = 0; cy < config_.cells_y; ++cy) {
+      for (int cx = 0; cx < config_.cells_x; ++cx) {
+        rt_.send(array_, cell_index(cx, cy, cz), /*bytes=*/16,
+                 [this, cx, cy, cz](Chare& c, Runtime& rt) {
+                   auto& cell = static_cast<MdCell&>(c);
+                   cell.mark_started();
+                   for (int dim = 0; dim < 3; ++dim) {
+                     send_positions(cx, cy, cz, dim, -1);
+                     send_positions(cx, cy, cz, dim, +1);
+                   }
+                   maybe_integrate(cell, rt);
+                 });
+      }
+    }
+  }
+}
+
+}  // namespace ehpc::apps

@@ -1,0 +1,40 @@
+#include "charm/ccs.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ehpc::charm {
+
+void CcsServer::request_rescale(int target_pes, RescaleAck on_complete) {
+  EHPC_EXPECTS(target_pes > 0);
+  ++commands_received_;
+  if (pending_.has_value() && pending_->on_complete) {
+    // A newer command supersedes the old target, but the old caller still
+    // deserves an ack when the (coalesced) rescale completes.
+    superseded_acks_.push_back(std::move(pending_->on_complete));
+  }
+  pending_ = CcsCommand{target_pes, std::move(on_complete)};
+}
+
+std::optional<CcsCommand> CcsServer::take() {
+  if (!pending_.has_value()) return std::nullopt;
+  CcsCommand cmd = std::move(*pending_);
+  pending_.reset();
+  if (!superseded_acks_.empty()) {
+    // Chain superseded acks onto the final one so every requester hears back.
+    auto acks = std::move(superseded_acks_);
+    superseded_acks_.clear();
+    RescaleAck final_ack = std::move(cmd.on_complete);
+    cmd.on_complete = [acks = std::move(acks),
+                       final_ack = std::move(final_ack)](const RescaleTiming& t) {
+      for (const auto& ack : acks) {
+        if (ack) ack(t);
+      }
+      if (final_ack) final_ack(t);
+    };
+  }
+  return cmd;
+}
+
+}  // namespace ehpc::charm

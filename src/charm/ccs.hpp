@@ -1,0 +1,41 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "charm/rescale.hpp"
+
+namespace ehpc::charm {
+
+/// A rescale command delivered through the CCS endpoint.
+struct CcsCommand {
+  int target_pes = 0;       ///< PE count requested by the external scheduler
+  RescaleAck on_complete;   ///< invoked after the rescale finishes (may be empty)
+};
+
+/// Converse Client-Server (CCS) stand-in: the control mailbox through which
+/// an external program (the operator/scheduler) asks a running application
+/// to shrink or expand (paper §2.2). The application polls at load-balancing
+/// boundaries, exactly like Charm++ triggers rescale "during the next
+/// load-balancing step after receiving the signal".
+class CcsServer {
+ public:
+  /// Queue a rescale-to-target command. Multiple pending commands coalesce:
+  /// only the most recent target survives, but every ack fires.
+  void request_rescale(int target_pes, RescaleAck on_complete = {});
+
+  bool has_pending() const { return pending_.has_value(); }
+
+  /// Consume the pending command (empty if none).
+  std::optional<CcsCommand> take();
+
+  /// Number of commands received over the server's lifetime.
+  int commands_received() const { return commands_received_; }
+
+ private:
+  std::optional<CcsCommand> pending_;
+  std::deque<RescaleAck> superseded_acks_;
+  int commands_received_ = 0;
+};
+
+}  // namespace ehpc::charm

@@ -1,0 +1,39 @@
+#include "charm/checkpoint.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ehpc::charm {
+
+void MemCheckpoint::add(ElementRecord record) {
+  EHPC_EXPECTS(record.pe >= 0);
+  total_modeled_bytes_ += record.modeled_bytes;
+  total_real_bytes_ += record.payload.size();
+  records_.push_back(std::move(record));
+}
+
+void MemCheckpoint::clear() {
+  records_.clear();
+  total_modeled_bytes_ = 0.0;
+  total_real_bytes_ = 0;
+}
+
+std::vector<double> MemCheckpoint::modeled_bytes_per_pe() const {
+  PeId max_pe = -1;
+  for (const auto& r : records_) max_pe = std::max(max_pe, r.pe);
+  std::vector<double> out(static_cast<std::size_t>(max_pe + 1), 0.0);
+  for (const auto& r : records_) out[static_cast<std::size_t>(r.pe)] += r.modeled_bytes;
+  return out;
+}
+
+std::vector<std::size_t> MemCheckpoint::records_per_pe() const {
+  PeId max_pe = -1;
+  for (const auto& r : records_) max_pe = std::max(max_pe, r.pe);
+  std::vector<std::size_t> out(static_cast<std::size_t>(max_pe + 1), 0);
+  for (const auto& r : records_) out[static_cast<std::size_t>(r.pe)] += 1;
+  return out;
+}
+
+}  // namespace ehpc::charm

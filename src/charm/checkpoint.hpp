@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "charm/types.hpp"
+
+namespace ehpc::charm {
+
+/// One serialized chare-array element inside a checkpoint.
+struct ElementRecord {
+  ArrayId array = 0;
+  ElementId elem = 0;
+  PeId pe = 0;                      ///< PE the element lived on at checkpoint
+  std::vector<std::byte> payload;   ///< packed pup bytes (real data)
+  double modeled_bytes = 0.0;       ///< bytes charged to the timing model
+};
+
+/// An in-memory checkpoint, standing in for the Linux shared-memory segment
+/// (/dev/shm) that Charm++ uses so rescaling never touches disk (paper §2.2).
+///
+/// The payloads are real serialized data; `modeled_bytes` lets an application
+/// running a scaled-down grid charge the full-size footprint to the timing
+/// model (see apps/ docs).
+class MemCheckpoint {
+ public:
+  void add(ElementRecord record);
+  void clear();
+
+  const std::vector<ElementRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+
+  /// Sum of modeled bytes across all records.
+  double total_modeled_bytes() const { return total_modeled_bytes_; }
+
+  /// Sum of real payload bytes across all records.
+  std::size_t total_real_bytes() const { return total_real_bytes_; }
+
+  /// Modeled bytes per PE under the mapping stored in the records
+  /// (index = PeId; sized to max PE + 1).
+  std::vector<double> modeled_bytes_per_pe() const;
+
+  /// Element counts per PE under the stored mapping.
+  std::vector<std::size_t> records_per_pe() const;
+
+ private:
+  std::vector<ElementRecord> records_;
+  double total_modeled_bytes_ = 0.0;
+  std::size_t total_real_bytes_ = 0;
+};
+
+}  // namespace ehpc::charm

@@ -1,0 +1,178 @@
+#include "charm/load_balancer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace ehpc::charm {
+
+namespace {
+
+// Min-heap of (load, pe) so we can always pick the least-loaded PE.
+using PeHeapEntry = std::pair<double, PeId>;
+using PeHeap =
+    std::priority_queue<PeHeapEntry, std::vector<PeHeapEntry>, std::greater<>>;
+
+bool contains(const std::vector<PeId>& pes, PeId pe) {
+  return std::binary_search(pes.begin(), pes.end(), pe);
+}
+
+}  // namespace
+
+LbAssignment NullLb::assign(const std::vector<LbObject>& objects,
+                            const std::vector<PeId>& available_pes) const {
+  EHPC_EXPECTS(!available_pes.empty());
+  // Accumulate loads of objects that can stay put.
+  std::map<PeId, double> pe_load;
+  for (PeId pe : available_pes) pe_load[pe] = 0.0;
+  for (const auto& obj : objects) {
+    if (contains(available_pes, obj.current_pe)) pe_load[obj.current_pe] += obj.load;
+  }
+  LbAssignment out;
+  out.reserve(objects.size());
+  for (const auto& obj : objects) {
+    if (contains(available_pes, obj.current_pe)) {
+      out.push_back(obj.current_pe);
+    } else {
+      auto it = std::min_element(
+          pe_load.begin(), pe_load.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      it->second += obj.load;
+      out.push_back(it->first);
+    }
+  }
+  return out;
+}
+
+LbAssignment GreedyLb::assign(const std::vector<LbObject>& objects,
+                              const std::vector<PeId>& available_pes) const {
+  EHPC_EXPECTS(!available_pes.empty());
+  std::vector<std::size_t> order(objects.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return objects[a].load > objects[b].load;
+  });
+  PeHeap heap;
+  for (PeId pe : available_pes) heap.push({0.0, pe});
+  LbAssignment out(objects.size(), available_pes.front());
+  for (std::size_t idx : order) {
+    auto [load, pe] = heap.top();
+    heap.pop();
+    out[idx] = pe;
+    heap.push({load + objects[idx].load, pe});
+  }
+  return out;
+}
+
+LbAssignment RefineLb::assign(const std::vector<LbObject>& objects,
+                              const std::vector<PeId>& available_pes) const {
+  EHPC_EXPECTS(!available_pes.empty());
+
+  // Start from current placement; objects on unavailable PEs are homeless.
+  std::map<PeId, double> pe_load;
+  std::map<PeId, std::vector<std::size_t>> pe_objects;
+  for (PeId pe : available_pes) {
+    pe_load[pe] = 0.0;
+    pe_objects[pe] = {};
+  }
+  LbAssignment out(objects.size(), available_pes.front());
+  std::vector<std::size_t> homeless;
+  double total_load = 0.0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    total_load += objects[i].load;
+    if (contains(available_pes, objects[i].current_pe)) {
+      out[i] = objects[i].current_pe;
+      pe_load[objects[i].current_pe] += objects[i].load;
+      pe_objects[objects[i].current_pe].push_back(i);
+    } else {
+      homeless.push_back(i);
+    }
+  }
+  // Place homeless objects (heaviest first) on the least-loaded PE.
+  std::stable_sort(homeless.begin(), homeless.end(), [&](std::size_t a, std::size_t b) {
+    return objects[a].load > objects[b].load;
+  });
+  for (std::size_t i : homeless) {
+    auto it = std::min_element(
+        pe_load.begin(), pe_load.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    out[i] = it->first;
+    it->second += objects[i].load;
+    pe_objects[it->first].push_back(i);
+  }
+
+  const double avg = total_load / static_cast<double>(available_pes.size());
+  if (avg <= 0.0) return out;
+
+  // Iteratively move the best-fitting object off the most overloaded PE.
+  // Bounded by the object count to guarantee termination.
+  for (std::size_t pass = 0; pass < objects.size(); ++pass) {
+    auto heaviest = std::max_element(
+        pe_load.begin(), pe_load.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (heaviest->second <= avg * tolerance_) break;
+    auto lightest = std::min_element(
+        pe_load.begin(), pe_load.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (heaviest->first == lightest->first) break;
+
+    // Pick the largest object on the overloaded PE that fits under the
+    // average on the underloaded PE; fall back to the lightest object.
+    auto& candidates = pe_objects[heaviest->first];
+    if (candidates.empty()) break;
+    std::size_t best = candidates.front();
+    double best_load = -1.0;
+    for (std::size_t i : candidates) {
+      const double l = objects[i].load;
+      if (lightest->second + l <= avg * tolerance_ && l > best_load) {
+        best = i;
+        best_load = l;
+      }
+    }
+    if (best_load < 0.0) {
+      // Nothing fits cleanly; move the lightest object to make progress.
+      best = *std::min_element(candidates.begin(), candidates.end(),
+                               [&](std::size_t a, std::size_t b) {
+                                 return objects[a].load < objects[b].load;
+                               });
+      if (lightest->second + objects[best].load >= heaviest->second) break;
+    }
+    candidates.erase(std::find(candidates.begin(), candidates.end(), best));
+    pe_load[heaviest->first] -= objects[best].load;
+    pe_load[lightest->first] += objects[best].load;
+    pe_objects[lightest->first].push_back(best);
+    out[best] = lightest->first;
+  }
+  return out;
+}
+
+std::unique_ptr<LoadBalancer> make_load_balancer(const std::string& name) {
+  if (name == "null") return std::make_unique<NullLb>();
+  if (name == "greedy") return std::make_unique<GreedyLb>();
+  if (name == "refine") return std::make_unique<RefineLb>();
+  throw PreconditionError("unknown load balancer: " + name);
+}
+
+double load_imbalance(const std::vector<LbObject>& objects,
+                      const LbAssignment& assignment,
+                      const std::vector<PeId>& available_pes) {
+  EHPC_EXPECTS(assignment.size() == objects.size());
+  EHPC_EXPECTS(!available_pes.empty());
+  std::map<PeId, double> pe_load;
+  for (PeId pe : available_pes) pe_load[pe] = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    pe_load.at(assignment[i]) += objects[i].load;
+    total += objects[i].load;
+  }
+  const double avg = total / static_cast<double>(available_pes.size());
+  if (avg <= 0.0) return 1.0;
+  double max_load = 0.0;
+  for (const auto& [pe, load] : pe_load) max_load = std::max(max_load, load);
+  return max_load / avg;
+}
+
+}  // namespace ehpc::charm

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "charm/types.hpp"
+
+namespace ehpc::charm {
+
+/// Per-object measurement handed to a load-balancing strategy.
+struct LbObject {
+  ArrayId array = 0;
+  ElementId elem = 0;
+  double load = 0.0;        ///< accumulated compute seconds since last LB
+  std::size_t bytes = 0;    ///< migration payload size (pup size)
+  PeId current_pe = 0;
+};
+
+/// Result of one strategy invocation: the new PE for each input object, in
+/// input order, restricted to the available PEs.
+using LbAssignment = std::vector<PeId>;
+
+/// Strategy interface. Strategies are centralized (they see all objects),
+/// matching Charm++'s central LB family used by shrink/expand.
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+  virtual std::string name() const = 0;
+
+  /// Compute a new assignment of `objects` onto `available_pes`.
+  /// `available_pes` is non-empty and sorted ascending.
+  virtual LbAssignment assign(const std::vector<LbObject>& objects,
+                              const std::vector<PeId>& available_pes) const = 0;
+};
+
+/// Keeps every object where it is, unless its PE is unavailable, in which
+/// case the object is moved to the least-loaded available PE. The cheapest
+/// legal strategy; used as a baseline and by tests.
+class NullLb final : public LoadBalancer {
+ public:
+  std::string name() const override { return "NullLB"; }
+  LbAssignment assign(const std::vector<LbObject>& objects,
+                      const std::vector<PeId>& available_pes) const override;
+};
+
+/// Charm++-style GreedyLB: sorts objects by decreasing load and repeatedly
+/// assigns to the currently least-loaded PE. Ignores current placement, so it
+/// balances best but migrates most.
+class GreedyLb final : public LoadBalancer {
+ public:
+  std::string name() const override { return "GreedyLB"; }
+  LbAssignment assign(const std::vector<LbObject>& objects,
+                      const std::vector<PeId>& available_pes) const override;
+};
+
+/// Charm++-style RefineLB: starts from current placement (evicting objects on
+/// unavailable PEs first) and migrates objects from overloaded PEs to
+/// underloaded ones until every PE is within `tolerance` of the average load.
+/// Minimizes migration volume; the default for shrink/expand.
+class RefineLb final : public LoadBalancer {
+ public:
+  explicit RefineLb(double tolerance = 1.05) : tolerance_(tolerance) {}
+  std::string name() const override { return "RefineLB"; }
+  LbAssignment assign(const std::vector<LbObject>& objects,
+                      const std::vector<PeId>& available_pes) const override;
+
+ private:
+  double tolerance_;
+};
+
+/// Factory: "null", "greedy", or "refine".
+std::unique_ptr<LoadBalancer> make_load_balancer(const std::string& name);
+
+/// Maximum PE load divided by average PE load for a given assignment
+/// (1.0 = perfectly balanced). Utility shared by strategies and tests.
+double load_imbalance(const std::vector<LbObject>& objects,
+                      const LbAssignment& assignment,
+                      const std::vector<PeId>& available_pes);
+
+}  // namespace ehpc::charm

@@ -1,0 +1,57 @@
+#include "charm/location.hpp"
+
+#include <utility>
+
+namespace ehpc::charm {
+
+ArrayId LocationManager::add_array(int num_elements, int num_pes) {
+  EHPC_EXPECTS(num_elements > 0);
+  EHPC_EXPECTS(num_pes > 0);
+  std::vector<PeId> map(static_cast<std::size_t>(num_elements));
+  for (int e = 0; e < num_elements; ++e) map[static_cast<std::size_t>(e)] = e % num_pes;
+  maps_.push_back(std::move(map));
+  return static_cast<ArrayId>(maps_.size()) - 1;
+}
+
+PeId LocationManager::pe_of(ArrayId array, ElementId elem) const {
+  EHPC_EXPECTS(array >= 0 && array < num_arrays());
+  const auto& map = maps_[static_cast<std::size_t>(array)];
+  EHPC_EXPECTS(elem >= 0 && static_cast<std::size_t>(elem) < map.size());
+  return map[static_cast<std::size_t>(elem)];
+}
+
+void LocationManager::set_pe(ArrayId array, ElementId elem, PeId pe) {
+  EHPC_EXPECTS(array >= 0 && array < num_arrays());
+  auto& map = maps_[static_cast<std::size_t>(array)];
+  EHPC_EXPECTS(elem >= 0 && static_cast<std::size_t>(elem) < map.size());
+  EHPC_EXPECTS(pe >= 0);
+  map[static_cast<std::size_t>(elem)] = pe;
+}
+
+int LocationManager::num_elements(ArrayId array) const {
+  EHPC_EXPECTS(array >= 0 && array < num_arrays());
+  return static_cast<int>(maps_[static_cast<std::size_t>(array)].size());
+}
+
+std::vector<ElementId> LocationManager::elements_on(ArrayId array, PeId pe) const {
+  EHPC_EXPECTS(array >= 0 && array < num_arrays());
+  std::vector<ElementId> out;
+  const auto& map = maps_[static_cast<std::size_t>(array)];
+  for (std::size_t e = 0; e < map.size(); ++e) {
+    if (map[e] == pe) out.push_back(static_cast<ElementId>(e));
+  }
+  return out;
+}
+
+void LocationManager::remap(ArrayId array, std::vector<PeId> mapping) {
+  EHPC_EXPECTS(array >= 0 && array < num_arrays());
+  EHPC_EXPECTS(mapping.size() == maps_[static_cast<std::size_t>(array)].size());
+  maps_[static_cast<std::size_t>(array)] = std::move(mapping);
+}
+
+const std::vector<PeId>& LocationManager::mapping(ArrayId array) const {
+  EHPC_EXPECTS(array >= 0 && array < num_arrays());
+  return maps_[static_cast<std::size_t>(array)];
+}
+
+}  // namespace ehpc::charm

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "charm/types.hpp"
+#include "common/error.hpp"
+
+namespace ehpc::charm {
+
+/// Tracks the element-to-PE mapping for every chare array (the runtime's
+/// "distributed location manager", centralized here since the emulation runs
+/// in one address space).
+class LocationManager {
+ public:
+  /// Register a new array of `num_elements` mapped round-robin over
+  /// `num_pes`. Returns the array id.
+  ArrayId add_array(int num_elements, int num_pes);
+
+  PeId pe_of(ArrayId array, ElementId elem) const;
+  void set_pe(ArrayId array, ElementId elem, PeId pe);
+
+  int num_elements(ArrayId array) const;
+  int num_arrays() const { return static_cast<int>(maps_.size()); }
+
+  /// Elements currently mapped to `pe` in `array`.
+  std::vector<ElementId> elements_on(ArrayId array, PeId pe) const;
+
+  /// Replace the whole mapping of an array (e.g. after load balancing).
+  void remap(ArrayId array, std::vector<PeId> mapping);
+
+  const std::vector<PeId>& mapping(ArrayId array) const;
+
+ private:
+  std::vector<std::vector<PeId>> maps_;  // maps_[array][elem] = pe
+};
+
+}  // namespace ehpc::charm

@@ -1,0 +1,40 @@
+#include "charm/pup.hpp"
+
+namespace ehpc::charm {
+
+void Pup::raw(void* data, std::size_t n) {
+  if (n == 0) return;
+  switch (mode_) {
+    case Mode::kSizing:
+      break;
+    case Mode::kPacking: {
+      EHPC_EXPECTS(write_buffer_ != nullptr);
+      const auto* bytes = static_cast<const std::byte*>(data);
+      write_buffer_->insert(write_buffer_->end(), bytes, bytes + n);
+      break;
+    }
+    case Mode::kUnpacking: {
+      EHPC_EXPECTS(read_buffer_ != nullptr);
+      EHPC_EXPECTS(cursor_ + n <= read_buffer_->size());
+      std::memcpy(data, read_buffer_->data() + cursor_, n);
+      break;
+    }
+  }
+  cursor_ += n;
+}
+
+Pup& Pup::operator|(std::string& s) {
+  std::size_t n = s.size();
+  *this | n;
+  if (unpacking()) s.resize(n);
+  if (n > 0) raw(s.data(), n);
+  return *this;
+}
+
+std::size_t Chare::pup_size() {
+  Pup p = Pup::sizer();
+  pup(p);
+  return p.size();
+}
+
+}  // namespace ehpc::charm

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ehpc::charm {
+
+/// PUP (Pack/UnPack) serializer in the style of Charm++.
+///
+/// A chare implements a single `pup(Pup&)` method that is used for sizing,
+/// packing and unpacking alike — the mode decides what `operator|` does.
+/// This is the mechanism behind migration and in-memory checkpoint/restart.
+///
+/// Example:
+///   struct Block : Chare {
+///     int iteration = 0;
+///     std::vector<double> grid;
+///     void pup(Pup& p) override { p | iteration; p | grid; }
+///   };
+class Pup {
+ public:
+  enum class Mode { kSizing, kPacking, kUnpacking };
+
+  /// Sizing pass: counts bytes; no buffer needed.
+  static Pup sizer() { return Pup(Mode::kSizing, nullptr); }
+
+  /// Packing pass: appends to `buffer`.
+  static Pup packer(std::vector<std::byte>& buffer) {
+    return Pup(Mode::kPacking, &buffer);
+  }
+
+  /// Unpacking pass: reads from `buffer` starting at offset 0.
+  static Pup unpacker(const std::vector<std::byte>& buffer) {
+    Pup p(Mode::kUnpacking, nullptr);
+    p.read_buffer_ = &buffer;
+    return p;
+  }
+
+  Mode mode() const { return mode_; }
+  bool sizing() const { return mode_ == Mode::kSizing; }
+  bool packing() const { return mode_ == Mode::kPacking; }
+  bool unpacking() const { return mode_ == Mode::kUnpacking; }
+
+  /// Bytes sized/packed/consumed so far.
+  std::size_t size() const { return cursor_; }
+
+  /// Raw bytes. The workhorse for all typed overloads.
+  void raw(void* data, std::size_t n);
+
+  /// Trivially copyable values.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Pup& operator|(T& value) {
+    raw(&value, sizeof(T));
+    return *this;
+  }
+
+  Pup& operator|(std::string& s);
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Pup& operator|(std::vector<T>& v) {
+    std::size_t n = v.size();
+    *this | n;
+    if (unpacking()) v.resize(n);
+    if (n > 0) raw(v.data(), n * sizeof(T));
+    return *this;
+  }
+
+  /// Non-trivially-copyable element vectors (element type must itself
+  /// support operator| with Pup).
+  template <typename T>
+    requires(!std::is_trivially_copyable_v<T>)
+  Pup& operator|(std::vector<T>& v) {
+    std::size_t n = v.size();
+    *this | n;
+    if (unpacking()) v.resize(n);
+    for (auto& item : v) *this | item;
+    return *this;
+  }
+
+ private:
+  Pup(Mode mode, std::vector<std::byte>* buffer)
+      : mode_(mode), write_buffer_(buffer) {}
+
+  Mode mode_;
+  std::vector<std::byte>* write_buffer_ = nullptr;
+  const std::vector<std::byte>* read_buffer_ = nullptr;
+  std::size_t cursor_ = 0;
+};
+
+/// Base class for migratable objects. Elements of a chare array derive from
+/// Chare and implement `pup` so the runtime can checkpoint, restore and
+/// migrate them.
+class Chare {
+ public:
+  virtual ~Chare() = default;
+
+  /// Serialize/deserialize all state that must survive migration or
+  /// checkpoint/restart.
+  virtual void pup(Pup& p) = 0;
+
+  /// Serialized footprint in bytes (sizing pass over `pup`).
+  std::size_t pup_size();
+};
+
+}  // namespace ehpc::charm

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+
+namespace ehpc::charm {
+
+/// Whether a rescale shrinks or expands the PE count.
+enum class RescaleDirection { kShrink, kExpand };
+
+/// Per-stage timing of one rescale operation, matching the paper's §4.2
+/// decomposition: load balance, checkpoint to shared memory, restart with
+/// the new process count, restore from shared memory.
+struct RescaleTiming {
+  RescaleDirection direction = RescaleDirection::kShrink;
+  int old_pes = 0;
+  int new_pes = 0;
+  double load_balance_s = 0.0;
+  double checkpoint_s = 0.0;
+  double restart_s = 0.0;
+  double restore_s = 0.0;
+  double checkpoint_modeled_bytes = 0.0;  ///< total data in the checkpoint
+  int migrated_objects = 0;               ///< objects moved by the LB stage
+
+  double total() const {
+    return load_balance_s + checkpoint_s + restart_s + restore_s;
+  }
+};
+
+/// Completion callback invoked (in virtual time) once a rescale finishes and
+/// the application has resumed. This is the runtime-side half of the operator
+/// handshake: the operator treats it as the Charm++ acknowledgment after
+/// which extra pods may be removed (shrink) or the expand is complete.
+using RescaleAck = std::function<void(const RescaleTiming&)>;
+
+}  // namespace ehpc::charm

@@ -1,0 +1,550 @@
+#include "charm/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace ehpc::charm {
+
+namespace {
+double combine(ReduceOp op, double a, double b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMax: return std::max(a, b);
+    case ReduceOp::kMin: return std::min(a, b);
+  }
+  return a;
+}
+
+double identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return 0.0;
+    case ReduceOp::kMax: return -std::numeric_limits<double>::infinity();
+    case ReduceOp::kMin: return std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+}  // namespace
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(std::move(config)),
+      lb_(make_load_balancer(config_.load_balancer)),
+      num_pes_(config_.num_pes) {
+  EHPC_EXPECTS(config_.num_pes > 0);
+  EHPC_EXPECTS(config_.pes_per_node > 0);
+  EHPC_EXPECTS(config_.flop_rate > 0.0);
+  EHPC_EXPECTS(config_.shm_bandwidth_Bps > 0.0);
+  pes_.resize(static_cast<std::size_t>(num_pes_));
+}
+
+int Runtime::node_of(PeId pe) const {
+  if (pe < 0) return -1;
+  return pe / config_.pes_per_node;
+}
+
+ArrayId Runtime::create_array(std::string name, int num_elements,
+                              ElementFactory factory) {
+  EHPC_EXPECTS(num_elements > 0);
+  EHPC_EXPECTS(factory != nullptr);
+  const ArrayId id = loc_.add_array(num_elements, num_pes_);
+  ArrayState state;
+  state.name = std::move(name);
+  state.factory = std::move(factory);
+  state.elements.reserve(static_cast<std::size_t>(num_elements));
+  for (ElementId e = 0; e < num_elements; ++e)
+    state.elements.push_back(state.factory(e));
+  state.load_s.assign(static_cast<std::size_t>(num_elements), 0.0);
+  arrays_.push_back(std::move(state));
+  return id;
+}
+
+Runtime::ArrayState& Runtime::array_state(ArrayId array) {
+  EHPC_EXPECTS(array >= 0 && static_cast<std::size_t>(array) < arrays_.size());
+  return arrays_[static_cast<std::size_t>(array)];
+}
+
+const Runtime::ArrayState& Runtime::array_state(ArrayId array) const {
+  EHPC_EXPECTS(array >= 0 && static_cast<std::size_t>(array) < arrays_.size());
+  return arrays_[static_cast<std::size_t>(array)];
+}
+
+Chare& Runtime::element(ArrayId array, ElementId elem) {
+  auto& state = array_state(array);
+  EHPC_EXPECTS(elem >= 0 &&
+               static_cast<std::size_t>(elem) < state.elements.size());
+  EHPC_EXPECTS(state.elements[static_cast<std::size_t>(elem)] != nullptr);
+  return *state.elements[static_cast<std::size_t>(elem)];
+}
+
+void Runtime::set_bytes_scale(ArrayId array, double scale) {
+  EHPC_EXPECTS(scale > 0.0);
+  array_state(array).bytes_scale = scale;
+}
+
+void Runtime::send(ArrayId array, ElementId elem, std::size_t bytes, Handler fn) {
+  EHPC_EXPECTS(fn != nullptr);
+  Envelope env{array, elem, bytes, std::move(fn)};
+  if (in_handler_) {
+    // Effects of an entry method take hold at its completion time; buffer
+    // until the handler's duration is known.
+    ctx_sends_.push_back(std::move(env));
+  } else {
+    dispatch(std::move(env), /*from_pe=*/0, sim_.now());
+  }
+}
+
+void Runtime::broadcast(ArrayId array, std::size_t bytes, const Handler& fn) {
+  const int n = loc_.num_elements(array);
+  for (ElementId e = 0; e < n; ++e) send(array, e, bytes, fn);
+}
+
+void Runtime::charge_flops(double flops) {
+  EHPC_EXPECTS(in_handler_);
+  EHPC_EXPECTS(flops >= 0.0);
+  ctx_flops_ += flops;
+}
+
+void Runtime::contribute(ArrayId array, double value, ReduceOp op) {
+  if (in_handler_) {
+    ctx_contributes_.push_back({array, value, op});
+  } else {
+    flush_contribute({array, value, op}, sim_.now());
+  }
+}
+
+void Runtime::set_reduction_client(ArrayId array, ReductionClient client) {
+  array_state(array).client = std::move(client);
+}
+
+void Runtime::schedule_external(sim::Time at, ExternalEvent fn) {
+  EHPC_EXPECTS(fn != nullptr);
+  sim_.schedule_at(at, [this, fn = std::move(fn)] { fn(*this); });
+}
+
+void Runtime::set_restart_handler(RestartHandler handler) {
+  restart_handler_ = std::move(handler);
+}
+
+void Runtime::dispatch(Envelope env, PeId from_pe, sim::Time send_time) {
+  const PeId dst = loc_.pe_of(env.array, env.elem);
+  const int src_node = node_of(from_pe);
+  const int dst_node = node_of(dst);
+  double depart = send_time;
+  if (from_pe >= 0 && src_node != dst_node) {
+    // Inter-node messages serialize through the source node's NIC.
+    auto node = static_cast<std::size_t>(src_node);
+    if (node_egress_busy_.size() <= node) node_egress_busy_.resize(node + 1, 0.0);
+    depart = std::max(send_time, node_egress_busy_[node]);
+    node_egress_busy_[node] =
+        depart + config_.nic_per_msg_s +
+        static_cast<double>(env.bytes) / config_.nic_bandwidth_Bps;
+  }
+  const double cost = config_.network.message_time(env.bytes, src_node, dst_node);
+  sim_.schedule_at(depart + cost, [this, dst, env = std::move(env)]() mutable {
+    on_arrival(dst, std::move(env));
+  });
+}
+
+void Runtime::on_arrival(PeId pe, Envelope env) {
+  // The destination PE may have disappeared in a shrink that raced with the
+  // message; re-resolve so delivery follows the object, like Charm++'s
+  // location manager forwarding.
+  if (pe >= num_pes_) pe = loc_.pe_of(env.array, env.elem);
+  EHPC_ENSURES(pe >= 0 && pe < num_pes_);
+  auto& state = pes_[static_cast<std::size_t>(pe)];
+  state.queue.push_back(std::move(env));
+  if (!state.busy) start_service(pe);
+}
+
+void Runtime::start_service(PeId pe) {
+  auto& state = pes_[static_cast<std::size_t>(pe)];
+  EHPC_ENSURES(!state.busy && !state.queue.empty());
+  state.busy = true;
+  Envelope env = std::move(state.queue.front());
+  state.queue.pop_front();
+
+  // Execute the entry method now (virtual service start); its effects are
+  // stamped at the completion time derived from the charged flops.
+  EHPC_ENSURES(!in_handler_);
+  in_handler_ = true;
+  ctx_pe_ = pe;
+  ctx_flops_ = 0.0;
+  ctx_array_ = env.array;
+  ctx_elem_ = env.elem;
+  ctx_sends_.clear();
+  ctx_contributes_.clear();
+
+  Chare& chare = element(env.array, env.elem);
+  env.fn(chare, *this);
+
+  const double duration =
+      config_.handler_overhead_s + ctx_flops_ / config_.flop_rate;
+  const sim::Time completion = sim_.now() + duration;
+
+  auto& arr = array_state(env.array);
+  arr.load_s[static_cast<std::size_t>(env.elem)] += ctx_flops_ / config_.flop_rate;
+
+  in_handler_ = false;
+  auto sends = std::move(ctx_sends_);
+  auto contributes = std::move(ctx_contributes_);
+  ctx_sends_.clear();
+  ctx_contributes_.clear();
+
+  for (auto& s : sends) dispatch(std::move(s), pe, completion);
+  for (const auto& c : contributes) flush_contribute(c, completion);
+
+  sim_.schedule_at(completion, [this, pe] {
+    auto& st = pes_[static_cast<std::size_t>(pe)];
+    st.busy = false;
+    if (!st.queue.empty()) start_service(pe);
+  });
+}
+
+double Runtime::tree_latency(int pes) const {
+  const int depth = static_cast<int>(std::ceil(std::log2(std::max(pes, 2))));
+  return static_cast<double>(depth) * config_.network.inter_alpha();
+}
+
+void Runtime::flush_contribute(const PendingContribute& c, sim::Time at) {
+  auto& arr = array_state(c.array);
+  auto& red = arr.reduction;
+  if (!red.started) {
+    red.started = true;
+    red.op = c.op;
+    red.acc = identity(c.op);
+    red.contributed = 0;
+    red.latest_time = at;
+  }
+  EHPC_EXPECTS(red.op == c.op);
+  red.acc = combine(red.op, red.acc, c.value);
+  red.latest_time = std::max(red.latest_time, at);
+  ++red.contributed;
+  const int n = loc_.num_elements(c.array);
+  EHPC_ENSURES(red.contributed <= n);
+  if (red.contributed == n) {
+    const double result = red.acc;
+    const sim::Time done = red.latest_time + tree_latency(num_pes_);
+    red = ReductionState{};  // ready for the next round
+    const ArrayId array = c.array;
+    sim_.schedule_at(done, [this, array, result] {
+      auto& client = array_state(array).client;
+      if (client) client(result, *this);
+    });
+  }
+}
+
+bool Runtime::poll_rescale() {
+  EHPC_EXPECTS(!in_handler_);
+  auto cmd = ccs_.take();
+  if (!cmd) return false;
+  const int target = cmd->target_pes;
+  if (target == num_pes_) {
+    // Nothing to do; acknowledge with a zero-cost timing record.
+    if (cmd->on_complete) {
+      RescaleTiming timing;
+      timing.old_pes = timing.new_pes = num_pes_;
+      cmd->on_complete(timing);
+    }
+    return false;
+  }
+  execute_rescale(std::move(*cmd));
+  return true;
+}
+
+void Runtime::assert_quiescent() const {
+  for (const auto& pe : pes_) {
+    EHPC_EXPECTS(!pe.busy && pe.queue.empty());
+  }
+  for (const auto& arr : arrays_) {
+    EHPC_EXPECTS(!arr.reduction.started);
+  }
+}
+
+double Runtime::stage_load_balance(const std::vector<PeId>& available_pes,
+                                   int* migrated_out) {
+  // Gather objects across all arrays.
+  std::vector<LbObject> objects;
+  std::vector<double> modeled_bytes;
+  for (ArrayId a = 0; a < static_cast<ArrayId>(arrays_.size()); ++a) {
+    auto& arr = arrays_[static_cast<std::size_t>(a)];
+    for (ElementId e = 0; e < static_cast<ElementId>(arr.elements.size()); ++e) {
+      LbObject obj;
+      obj.array = a;
+      obj.elem = e;
+      obj.load = arr.load_s[static_cast<std::size_t>(e)];
+      obj.bytes = arr.elements[static_cast<std::size_t>(e)]->pup_size();
+      obj.current_pe = loc_.pe_of(a, e);
+      objects.push_back(obj);
+      modeled_bytes.push_back(static_cast<double>(obj.bytes) * arr.bytes_scale);
+    }
+  }
+  if (objects.empty()) {
+    if (migrated_out) *migrated_out = 0;
+    return 0.0;
+  }
+
+  const LbAssignment assignment = lb_->assign(objects, available_pes);
+
+  // Strategy + stats-gathering cost (central LB): per-object decision work
+  // plus a reduction/broadcast over the current PEs.
+  double stage = 2.0 * tree_latency(num_pes_) +
+                 static_cast<double>(objects.size()) * config_.lb_decision_per_obj_s;
+
+  // Migration: objects move in parallel; each PE serializes its outgoing and
+  // absorbs its incoming bytes over the fabric. Stage extends by the
+  // worst-loaded endpoint.
+  std::vector<double> pe_cost(static_cast<std::size_t>(
+                                  std::max(num_pes_, available_pes.back() + 1)),
+                              0.0);
+  int migrated = 0;
+  const auto& net = config_.network;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (assignment[i] == objects[i].current_pe) continue;
+    ++migrated;
+    const double cost = net.message_time(
+        static_cast<std::size_t>(modeled_bytes[i]),
+        node_of(objects[i].current_pe), node_of(assignment[i]));
+    pe_cost[static_cast<std::size_t>(objects[i].current_pe)] += cost;
+    pe_cost[static_cast<std::size_t>(assignment[i])] += cost;
+    loc_.set_pe(objects[i].array, objects[i].elem, assignment[i]);
+  }
+  stage += *std::max_element(pe_cost.begin(), pe_cost.end());
+
+  // LB period ends: loads reset, as in Charm++ central strategies.
+  for (auto& arr : arrays_) {
+    std::fill(arr.load_s.begin(), arr.load_s.end(), 0.0);
+  }
+  if (migrated_out) *migrated_out = migrated;
+  return stage;
+}
+
+double Runtime::stage_checkpoint(MemCheckpoint& out) {
+  for (ArrayId a = 0; a < static_cast<ArrayId>(arrays_.size()); ++a) {
+    auto& arr = arrays_[static_cast<std::size_t>(a)];
+    for (ElementId e = 0; e < static_cast<ElementId>(arr.elements.size()); ++e) {
+      auto& chare = arr.elements[static_cast<std::size_t>(e)];
+      EHPC_ENSURES(chare != nullptr);
+      ElementRecord rec;
+      rec.array = a;
+      rec.elem = e;
+      rec.pe = loc_.pe_of(a, e);
+      Pup packer = Pup::packer(rec.payload);
+      chare->pup(packer);
+      rec.modeled_bytes = static_cast<double>(rec.payload.size()) * arr.bytes_scale;
+      out.add(std::move(rec));
+    }
+  }
+  // Each PE writes its objects to the local shared-memory segment in
+  // parallel; the stage lasts as long as the slowest PE.
+  double stage = 0.0;
+  const auto bytes = out.modeled_bytes_per_pe();
+  const auto counts = out.records_per_pe();
+  for (std::size_t pe = 0; pe < bytes.size(); ++pe) {
+    const double t = bytes[pe] / config_.shm_bandwidth_Bps +
+                     static_cast<double>(counts[pe]) * config_.checkpoint_per_obj_s;
+    stage = std::max(stage, t);
+  }
+  return stage;
+}
+
+double Runtime::stage_restart(int new_pes) {
+  // Tear down the old processes: element objects die with them (their state
+  // lives in the checkpoint), queues are rebuilt empty.
+  for (auto& arr : arrays_) {
+    for (auto& chare : arr.elements) chare.reset();
+  }
+  pes_.assign(static_cast<std::size_t>(new_pes), PeState{});
+  num_pes_ = new_pes;
+  std::fill(node_egress_busy_.begin(), node_egress_busy_.end(), 0.0);
+  // mpirun startup cost grows with the number of ranks (paper Fig. 5).
+  return config_.startup_alpha_s +
+         config_.startup_per_pe_s * static_cast<double>(new_pes);
+}
+
+double Runtime::stage_restore(const MemCheckpoint& ckpt) {
+  for (const auto& rec : ckpt.records()) {
+    auto& arr = array_state(rec.array);
+    auto elem = arr.factory(rec.elem);
+    Pup unpacker = Pup::unpacker(rec.payload);
+    elem->pup(unpacker);
+    arr.elements[static_cast<std::size_t>(rec.elem)] = std::move(elem);
+    EHPC_ENSURES(loc_.pe_of(rec.array, rec.elem) < num_pes_);
+  }
+  double stage = 0.0;
+  // Reads happen with the *current* mapping (post-LB for shrink; the old
+  // mapping for expand, where LB follows the restore).
+  std::vector<double> bytes(static_cast<std::size_t>(num_pes_), 0.0);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_pes_), 0);
+  for (const auto& rec : ckpt.records()) {
+    const PeId pe = loc_.pe_of(rec.array, rec.elem);
+    bytes[static_cast<std::size_t>(pe)] += rec.modeled_bytes;
+    counts[static_cast<std::size_t>(pe)] += 1;
+  }
+  for (std::size_t pe = 0; pe < bytes.size(); ++pe) {
+    const double t = bytes[pe] / config_.shm_bandwidth_Bps +
+                     static_cast<double>(counts[pe]) * config_.checkpoint_per_obj_s;
+    stage = std::max(stage, t);
+  }
+  return stage;
+}
+
+void Runtime::execute_rescale(CcsCommand cmd) {
+  assert_quiescent();
+  const int old_pes = num_pes_;
+  const int new_pes = cmd.target_pes;
+  EHPC_EXPECTS(new_pes > 0 && new_pes != old_pes);
+
+  RescaleTiming timing;
+  timing.old_pes = old_pes;
+  timing.new_pes = new_pes;
+  timing.direction = new_pes < old_pes ? RescaleDirection::kShrink
+                                       : RescaleDirection::kExpand;
+
+  std::vector<PeId> target_set(static_cast<std::size_t>(new_pes));
+  std::iota(target_set.begin(), target_set.end(), 0);
+
+  MemCheckpoint ckpt;
+  if (timing.direction == RescaleDirection::kShrink) {
+    // Shrink: evacuate dying PEs first, then checkpoint/restart/restore.
+    timing.load_balance_s = stage_load_balance(target_set, &timing.migrated_objects);
+    timing.checkpoint_s = stage_checkpoint(ckpt);
+    timing.restart_s = stage_restart(new_pes);
+    timing.restore_s = stage_restore(ckpt);
+  } else {
+    // Expand: restart with more PEs first, then balance onto them.
+    timing.checkpoint_s = stage_checkpoint(ckpt);
+    timing.restart_s = stage_restart(new_pes);
+    timing.restore_s = stage_restore(ckpt);
+    timing.load_balance_s = stage_load_balance(target_set, &timing.migrated_objects);
+  }
+  timing.checkpoint_modeled_bytes = ckpt.total_modeled_bytes();
+
+  last_rescale_ = timing;
+  rescale_history_.push_back(timing);
+  EHPC_INFO("charm",
+            "rescale %d -> %d pes: lb=%.3fs ckpt=%.3fs restart=%.3fs restore=%.3fs",
+            old_pes, new_pes, timing.load_balance_s, timing.checkpoint_s,
+            timing.restart_s, timing.restore_s);
+
+  const sim::Time resume_at = sim_.now() + timing.total();
+  sim_.schedule_at(resume_at,
+                   [this, ack = std::move(cmd.on_complete), timing] {
+                     if (restart_handler_) restart_handler_(*this);
+                     if (ack) ack(timing);
+                   });
+}
+
+void Runtime::load_balance_then(ExternalEvent continuation) {
+  EHPC_EXPECTS(!in_handler_);
+  EHPC_EXPECTS(continuation != nullptr);
+  assert_quiescent();
+  std::vector<PeId> all(static_cast<std::size_t>(num_pes_));
+  std::iota(all.begin(), all.end(), 0);
+  int migrated = 0;
+  const double cost = stage_load_balance(all, &migrated);
+  sim_.schedule_after(cost, [this, fn = std::move(continuation)] { fn(*this); });
+}
+
+void Runtime::set_app_state_pup(std::function<void(Pup&)> fn) {
+  app_state_pup_ = std::move(fn);
+}
+
+void Runtime::disk_checkpoint_then(ExternalEvent continuation) {
+  EHPC_EXPECTS(!in_handler_);
+  EHPC_EXPECTS(continuation != nullptr);
+  assert_quiescent();
+  disk_checkpoint_.clear();
+  for (ArrayId a = 0; a < static_cast<ArrayId>(arrays_.size()); ++a) {
+    auto& arr = arrays_[static_cast<std::size_t>(a)];
+    for (ElementId e = 0; e < static_cast<ElementId>(arr.elements.size()); ++e) {
+      ElementRecord rec;
+      rec.array = a;
+      rec.elem = e;
+      rec.pe = loc_.pe_of(a, e);
+      Pup packer = Pup::packer(rec.payload);
+      arr.elements[static_cast<std::size_t>(e)]->pup(packer);
+      rec.modeled_bytes =
+          static_cast<double>(rec.payload.size()) * arr.bytes_scale;
+      disk_checkpoint_.add(std::move(rec));
+    }
+  }
+  disk_app_state_.clear();
+  if (app_state_pup_) {
+    Pup packer = Pup::packer(disk_app_state_);
+    app_state_pup_(packer);
+  }
+  disk_checkpoint_pes_ = num_pes_;
+  ++disk_checkpoints_taken_;
+  // PEs stream their objects to disk in parallel; slowest PE bounds the
+  // stage, like the shared-memory checkpoint but at disk bandwidth.
+  double stage = 0.0;
+  const auto bytes = disk_checkpoint_.modeled_bytes_per_pe();
+  const auto counts = disk_checkpoint_.records_per_pe();
+  for (std::size_t pe = 0; pe < bytes.size(); ++pe) {
+    stage = std::max(stage, bytes[pe] / config_.disk_bandwidth_Bps +
+                                static_cast<double>(counts[pe]) *
+                                    config_.checkpoint_per_obj_s);
+  }
+  EHPC_INFO("charm", "disk checkpoint: %.1f MB in %.3fs",
+            disk_checkpoint_.total_modeled_bytes() / 1.0e6, stage);
+  sim_.schedule_after(stage, [this, fn = std::move(continuation)] { fn(*this); });
+}
+
+void Runtime::fail_and_recover() {
+  EHPC_EXPECTS(!in_handler_);
+  EHPC_EXPECTS(has_disk_checkpoint());
+  ++recoveries_;
+  // Volatile state dies with the node; queues are rebuilt empty.
+  for (auto& arr : arrays_) {
+    for (auto& chare : arr.elements) chare.reset();
+    arr.reduction = ReductionState{};
+    std::fill(arr.load_s.begin(), arr.load_s.end(), 0.0);
+  }
+  pes_.assign(static_cast<std::size_t>(disk_checkpoint_pes_), PeState{});
+  num_pes_ = disk_checkpoint_pes_;
+  std::fill(node_egress_busy_.begin(), node_egress_busy_.end(), 0.0);
+
+  // Restore elements and their checkpoint-time placement.
+  double read_stage = 0.0;
+  const auto bytes = disk_checkpoint_.modeled_bytes_per_pe();
+  const auto counts = disk_checkpoint_.records_per_pe();
+  for (std::size_t pe = 0; pe < bytes.size(); ++pe) {
+    read_stage = std::max(read_stage, bytes[pe] / config_.disk_bandwidth_Bps +
+                                          static_cast<double>(counts[pe]) *
+                                              config_.checkpoint_per_obj_s);
+  }
+  for (const auto& rec : disk_checkpoint_.records()) {
+    auto& arr = array_state(rec.array);
+    auto elem = arr.factory(rec.elem);
+    Pup unpacker = Pup::unpacker(rec.payload);
+    elem->pup(unpacker);
+    arr.elements[static_cast<std::size_t>(rec.elem)] = std::move(elem);
+    loc_.set_pe(rec.array, rec.elem, rec.pe);
+  }
+  if (app_state_pup_ && !disk_app_state_.empty()) {
+    Pup unpacker = Pup::unpacker(disk_app_state_);
+    app_state_pup_(unpacker);
+  }
+  const double downtime = config_.failure_detection_s +
+                          config_.startup_alpha_s +
+                          config_.startup_per_pe_s * num_pes_ + read_stage;
+  EHPC_WARN("charm", "node failure: recovering from disk checkpoint (%.2fs downtime)",
+            downtime);
+  sim_.schedule_after(downtime, [this] {
+    if (restart_handler_) restart_handler_(*this);
+  });
+}
+
+std::vector<double> Runtime::element_loads(ArrayId array) const {
+  return array_state(array).load_s;
+}
+
+std::size_t Runtime::run() { return sim_.run(); }
+
+std::size_t Runtime::run_until(sim::Time until) { return sim_.run_until(until); }
+
+}  // namespace ehpc::charm

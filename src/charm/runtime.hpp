@@ -1,0 +1,277 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "charm/ccs.hpp"
+#include "charm/checkpoint.hpp"
+#include "charm/load_balancer.hpp"
+#include "charm/location.hpp"
+#include "charm/pup.hpp"
+#include "charm/rescale.hpp"
+#include "charm/types.hpp"
+#include "net/cost_model.hpp"
+#include "sim/simulation.hpp"
+
+namespace ehpc::charm {
+
+/// Tunables of the emulated machine and runtime system. Defaults approximate
+/// the paper's testbed: c6g.4xlarge nodes (16 vCPUs) in an EKS cluster
+/// placement group, OpenMPI startup costs, /dev/shm checkpoint bandwidth.
+struct RuntimeConfig {
+  int num_pes = 4;               ///< initial PE count (1 PE = 1 worker replica)
+  int pes_per_node = 16;         ///< replicas packed per node (c6g.4xlarge: 16)
+  double flop_rate = 2.0e9;      ///< sustained flops per PE (c6g Graviton2 core)
+  double handler_overhead_s = 25.0e-6;  ///< per-message software cost (scheduler + TCP stack)
+  net::CostModel network = net::presets::pod_network();
+  double shm_bandwidth_Bps = 4.0e9;     ///< /dev/shm checkpoint+restore bandwidth
+  double checkpoint_per_obj_s = 50.0e-6;  ///< per-object serialization overhead
+  double startup_alpha_s = 0.4;  ///< restart fixed cost (mpirun launch)
+  double startup_per_pe_s = 0.03;  ///< restart cost per rank (MPI_Init growth)
+  double lb_decision_per_obj_s = 10.0e-6;  ///< central LB strategy cost/object
+  std::string load_balancer = "greedy";    ///< "null" | "greedy" | "refine"
+  /// Per-node NIC egress serialization: inter-node messages leaving one node
+  /// queue behind each other (TCP/ENA). This is the per-iteration floor that
+  /// flattens strong scaling at high replica counts (paper Fig. 4a).
+  double nic_per_msg_s = 10.0e-6;
+  double nic_bandwidth_Bps = 1.25e9;
+  /// Fault tolerance (paper §3.2.2): disk-checkpoint bandwidth (EBS-class,
+  /// far slower than /dev/shm) and the failure-detection delay before a
+  /// recovery restart begins.
+  double disk_bandwidth_Bps = 0.2e9;
+  double failure_detection_s = 5.0;
+};
+
+/// Reduction combiners available to `contribute`.
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// The minicharm runtime: a message-driven, migratable-objects runtime
+/// emulated in virtual time (BigSim style).
+///
+/// Application code really executes — entry methods run real C++, ghost
+/// exchanges carry real data, checkpoints serialize real bytes — while
+/// *performance* comes from a machine model: declared flops over a per-PE
+/// flop rate, alpha-beta message costs, shared-memory checkpoint bandwidth,
+/// and an MPI-like startup cost for restarts. This lets 64-PE strong-scaling
+/// and shrink/expand experiments (paper §4.1–4.2) run deterministically on
+/// any host.
+///
+/// Threading model: single-threaded; all callbacks run on the caller's
+/// thread inside `run()`.
+class Runtime {
+ public:
+  using Handler = std::function<void(Chare&, Runtime&)>;
+  using ElementFactory = std::function<std::unique_ptr<Chare>(ElementId)>;
+  using ReductionClient = std::function<void(double, Runtime&)>;
+  using RestartHandler = std::function<void(Runtime&)>;
+  using ExternalEvent = std::function<void(Runtime&)>;
+
+  explicit Runtime(RuntimeConfig config);
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // ---- topology ----
+  int num_pes() const { return num_pes_; }
+  int node_of(PeId pe) const;
+  sim::Time now() const { return sim_.now(); }
+  const RuntimeConfig& config() const { return config_; }
+
+  // ---- chare arrays ----
+
+  /// Create a chare array of `num_elements`, initially mapped round-robin
+  /// over the PEs. The factory constructs a fresh (un-restored) element and
+  /// is reused to rebuild elements after a restart.
+  ArrayId create_array(std::string name, int num_elements, ElementFactory factory);
+
+  int num_elements(ArrayId array) const { return loc_.num_elements(array); }
+
+  /// Direct element access (driver/test use; application code should message).
+  Chare& element(ArrayId array, ElementId elem);
+
+  /// PE currently hosting an element.
+  PeId pe_of(ArrayId array, ElementId elem) const { return loc_.pe_of(array, elem); }
+
+  const std::vector<PeId>& mapping(ArrayId array) const { return loc_.mapping(array); }
+
+  /// Scale factor applied to real pup sizes when charging checkpoint,
+  /// restore and migration time. Applications running a reduced-resolution
+  /// grid set this to (full bytes / real bytes) so rescaling costs reflect
+  /// the full problem (see apps/ docs).
+  void set_bytes_scale(ArrayId array, double scale);
+
+  // ---- messaging ----
+
+  /// Send a message of `bytes` to an element; `fn` runs on the destination
+  /// as the entry method. Callable from inside a handler (cost charged from
+  /// the executing PE at handler completion) or from driver/reduction-client
+  /// context (charged from PE 0 at the current time).
+  void send(ArrayId array, ElementId elem, std::size_t bytes, Handler fn);
+
+  /// Send `fn` to every element of the array.
+  void broadcast(ArrayId array, std::size_t bytes, const Handler& fn);
+
+  /// Add compute work to the currently executing entry method. Only valid
+  /// inside a handler. The work also counts toward the element's LB load.
+  void charge_flops(double flops);
+
+  /// Contribute to the array's current reduction round. When every element
+  /// has contributed, the reduction client runs (once) with the combined
+  /// value at the virtual time the slowest contribution plus a
+  /// log2(P)-depth tree latency.
+  void contribute(ArrayId array, double value, ReduceOp op);
+
+  void set_reduction_client(ArrayId array, ReductionClient client);
+
+  // ---- control ----
+
+  /// Schedule an external control action (e.g. a CCS rescale request from
+  /// the operator) at absolute virtual time `at`.
+  void schedule_external(sim::Time at, ExternalEvent fn);
+
+  /// The CCS control endpoint used by external schedulers.
+  CcsServer& ccs() { return ccs_; }
+
+  /// Invoked after every restart+restore so the application can resume from
+  /// its checkpointed state (typically: re-broadcast "start iteration i").
+  void set_restart_handler(RestartHandler handler);
+
+  /// Poll the CCS mailbox; if a rescale is pending, execute it. Must be
+  /// called at a quiescent point (no messages in flight), i.e. from a
+  /// reduction client — the "next load-balancing step" of the paper.
+  /// Returns true when a rescale was started: the caller must stop driving
+  /// the application; the restart handler will resume it.
+  bool poll_rescale();
+
+  /// Explicit load balancing without a rescale ("AtSync"). Runs the
+  /// configured strategy over all arrays, applies the migration, charges its
+  /// virtual cost, then invokes `continuation`.
+  void load_balance_then(ExternalEvent continuation);
+
+  // ---- fault tolerance (paper §3.2.2) ----
+
+  /// Extra application/driver state (e.g. the iteration counter) carried in
+  /// every checkpoint so recovery restores it too.
+  void set_app_state_pup(std::function<void(Pup&)> fn);
+
+  /// Write a full checkpoint to (modeled) disk at a quiescent point, then
+  /// run `continuation`. Unlike the in-memory rescale checkpoint, this one
+  /// survives node failures.
+  void disk_checkpoint_then(ExternalEvent continuation);
+
+  /// Simulate a node failure at a quiescent point: all volatile state is
+  /// lost; the runtime restarts from the last disk checkpoint (same PE
+  /// count and element mapping as at checkpoint time), charges detection +
+  /// restart + disk-read time, restores the app state, and invokes the
+  /// restart handler. Throws PreconditionError without a prior checkpoint.
+  void fail_and_recover();
+
+  bool has_disk_checkpoint() const { return !disk_checkpoint_.empty(); }
+  int disk_checkpoints_taken() const { return disk_checkpoints_taken_; }
+  int recoveries() const { return recoveries_; }
+
+  /// Timing of the most recent rescale (empty before the first one).
+  const std::optional<RescaleTiming>& last_rescale() const { return last_rescale_; }
+
+  /// All rescale timings observed so far, in order.
+  const std::vector<RescaleTiming>& rescale_history() const { return rescale_history_; }
+
+  /// Accumulated LB load (seconds of charged compute) per element.
+  std::vector<double> element_loads(ArrayId array) const;
+
+  // ---- execution ----
+
+  /// Run until quiescence (no pending events). Returns events executed.
+  std::size_t run();
+
+  /// Run events up to virtual time `until`.
+  std::size_t run_until(sim::Time until);
+
+ private:
+  struct Envelope {
+    ArrayId array;
+    ElementId elem;
+    std::size_t bytes;
+    Handler fn;
+  };
+  struct PendingContribute {
+    ArrayId array;
+    double value;
+    ReduceOp op;
+  };
+  struct ReductionState {
+    bool started = false;
+    int contributed = 0;
+    double acc = 0.0;
+    ReduceOp op = ReduceOp::kSum;
+    double latest_time = 0.0;
+  };
+  struct ArrayState {
+    std::string name;
+    ElementFactory factory;
+    std::vector<std::unique_ptr<Chare>> elements;
+    std::vector<double> load_s;   // charged compute since last LB
+    double bytes_scale = 1.0;
+    ReductionState reduction;
+    ReductionClient client;
+  };
+  struct PeState {
+    std::deque<Envelope> queue;
+    bool busy = false;
+  };
+
+  ArrayState& array_state(ArrayId array);
+  const ArrayState& array_state(ArrayId array) const;
+
+  // Deliver an envelope to its destination PE at `arrival`.
+  void dispatch(Envelope env, PeId from_pe, sim::Time send_time);
+  void on_arrival(PeId pe, Envelope env);
+  void start_service(PeId pe);
+  void flush_contribute(const PendingContribute& c, sim::Time at);
+  double tree_latency(int pes) const;
+
+  // Rescale stages. Each returns the stage's virtual duration.
+  double stage_load_balance(const std::vector<PeId>& available_pes,
+                            int* migrated_out);
+  double stage_checkpoint(MemCheckpoint& out);
+  double stage_restart(int new_pes);
+  double stage_restore(const MemCheckpoint& ckpt);
+  void execute_rescale(CcsCommand cmd);
+  void assert_quiescent() const;
+
+  RuntimeConfig config_;
+  sim::Simulation sim_;
+  LocationManager loc_;
+  std::vector<double> node_egress_busy_;  // per-node NIC availability time
+  CcsServer ccs_;
+  std::unique_ptr<LoadBalancer> lb_;
+  std::vector<ArrayState> arrays_;
+  std::vector<PeState> pes_;
+  int num_pes_;
+
+  // Execution context of the currently running entry method.
+  bool in_handler_ = false;
+  PeId ctx_pe_ = kExternalPe;
+  double ctx_flops_ = 0.0;
+  ArrayId ctx_array_ = -1;
+  ElementId ctx_elem_ = -1;
+  std::vector<Envelope> ctx_sends_;
+  std::vector<PendingContribute> ctx_contributes_;
+
+  RestartHandler restart_handler_;
+  std::optional<RescaleTiming> last_rescale_;
+  std::vector<RescaleTiming> rescale_history_;
+
+  // Fault tolerance: the durable checkpoint and the app state stored in it.
+  std::function<void(Pup&)> app_state_pup_;
+  MemCheckpoint disk_checkpoint_;
+  std::vector<std::byte> disk_app_state_;
+  int disk_checkpoint_pes_ = 0;
+  int disk_checkpoints_taken_ = 0;
+  int recoveries_ = 0;
+};
+
+}  // namespace ehpc::charm

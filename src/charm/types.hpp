@@ -1,0 +1,17 @@
+#pragma once
+
+namespace ehpc::charm {
+
+/// Logical processing element (PE) index, 0-based. The paper's non-SMP build
+/// maps one PE per worker replica; we follow the same convention.
+using PeId = int;
+
+/// Identifies a chare array registered with the runtime.
+using ArrayId = int;
+
+/// Index of an element within a chare array.
+using ElementId = int;
+
+inline constexpr PeId kExternalPe = -1;  ///< sender outside the runtime
+
+}  // namespace ehpc::charm

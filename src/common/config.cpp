@@ -1,0 +1,59 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace ehpc {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      cfg.positional_.push_back(std::move(token));
+    } else {
+      cfg.values_[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(const std::string& key,
+                           const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+int Config::get_int(const std::string& key, int fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  return std::atoi(v->c_str());
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  return std::atof(v->c_str());
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower == "1" || lower == "true" || lower == "yes" || lower == "on";
+}
+
+}  // namespace ehpc

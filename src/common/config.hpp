@@ -1,0 +1,37 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ehpc {
+
+/// Minimal "key=value" configuration map with typed getters, used by bench
+/// and example binaries to accept overrides from the command line
+/// (e.g. `fig7_submission_gap repeats=20 seed=7`).
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse `argv`-style tokens of the form key=value; tokens without '=' are
+  /// collected as positional arguments.
+  static Config from_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, std::string value);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ehpc

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ehpc {
+
+/// Thrown when a precondition on a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void raise_precondition(const char* expr, const char* file,
+                                            int line) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+[[noreturn]] inline void raise_invariant(const char* expr, const char* file,
+                                         int line) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " + file +
+                       ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace ehpc
+
+/// Validate a caller-supplied precondition; throws PreconditionError.
+#define EHPC_EXPECTS(cond)                                            \
+  do {                                                                \
+    if (!(cond)) ::ehpc::detail::raise_precondition(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+/// Validate an internal invariant; throws InvariantError.
+#define EHPC_ENSURES(cond)                                          \
+  do {                                                              \
+    if (!(cond)) ::ehpc::detail::raise_invariant(#cond, __FILE__, __LINE__); \
+  } while (0)

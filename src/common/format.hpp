@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace ehpc {
+
+/// printf-style formatting into a std::string. Used by logging and table
+/// rendering (the toolchain's libstdc++ predates <format>).
+inline std::string strformat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline std::string strformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace ehpc

@@ -1,0 +1,49 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+
+namespace ehpc::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_write_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+bool enabled(Level lvl) { return lvl >= level() && level() != Level::kOff; }
+
+void write(Level lvl, std::string_view component, std::string_view message) {
+  std::lock_guard lock(g_write_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(lvl),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+Level parse_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "debug") return Level::kDebug;
+  if (lower == "info") return Level::kInfo;
+  if (lower == "warn" || lower == "warning") return Level::kWarn;
+  if (lower == "error") return Level::kError;
+  return Level::kOff;
+}
+
+}  // namespace ehpc::log

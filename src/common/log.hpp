@@ -1,0 +1,44 @@
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/format.hpp"
+
+namespace ehpc::log {
+
+/// Severity levels, in increasing order of importance.
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level that is emitted. Thread-safe.
+void set_level(Level level);
+
+/// Current global minimum level.
+Level level();
+
+/// True when messages at `level` would be emitted.
+bool enabled(Level level);
+
+/// Emit a single pre-formatted line. Thread-safe; used by the macros below.
+void write(Level level, std::string_view component, std::string_view message);
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+Level parse_level(std::string_view text);
+
+}  // namespace ehpc::log
+
+#define EHPC_LOG(lvl, component, ...)                                      \
+  do {                                                                     \
+    if (::ehpc::log::enabled(lvl))                                         \
+      ::ehpc::log::write(lvl, component, ::ehpc::strformat(__VA_ARGS__));  \
+  } while (0)
+
+#define EHPC_DEBUG(component, ...) \
+  EHPC_LOG(::ehpc::log::Level::kDebug, component, __VA_ARGS__)
+#define EHPC_INFO(component, ...) \
+  EHPC_LOG(::ehpc::log::Level::kInfo, component, __VA_ARGS__)
+#define EHPC_WARN(component, ...) \
+  EHPC_LOG(::ehpc::log::Level::kWarn, component, __VA_ARGS__)
+#define EHPC_ERROR(component, ...) \
+  EHPC_LOG(::ehpc::log::Level::kError, component, __VA_ARGS__)

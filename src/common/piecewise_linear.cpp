@@ -1,0 +1,61 @@
+#include "common/piecewise_linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ehpc {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  EHPC_EXPECTS(!points_.empty());
+  std::sort(points_.begin(), points_.end());
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    EHPC_EXPECTS(points_[i].first > points_[i - 1].first);
+  }
+}
+
+std::size_t PiecewiseLinear::segment_for(double x) const {
+  // Find the segment whose x-range contains x, clamping to the first/last
+  // segment for out-of-range queries (linear extrapolation).
+  if (points_.size() == 1) return 0;
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), x,
+      [](const std::pair<double, double>& p, double v) { return p.first < v; });
+  std::size_t hi = static_cast<std::size_t>(it - points_.begin());
+  if (hi == 0) hi = 1;
+  if (hi >= points_.size()) hi = points_.size() - 1;
+  return hi - 1;
+}
+
+double PiecewiseLinear::at(double x) const {
+  EHPC_EXPECTS(!points_.empty());
+  if (points_.size() == 1) return points_.front().second;
+  const std::size_t i = segment_for(x);
+  const auto& [x0, y0] = points_[i];
+  const auto& [x1, y1] = points_[i + 1];
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+double PiecewiseLinear::at_clamped(double x) const {
+  EHPC_EXPECTS(!points_.empty());
+  if (x <= points_.front().first) return points_.front().second;
+  if (x >= points_.back().first) return points_.back().second;
+  return at(x);
+}
+
+double PiecewiseLinear::at_loglog(double x) const {
+  EHPC_EXPECTS(!points_.empty());
+  EHPC_EXPECTS(x > 0.0);
+  if (points_.size() == 1) return points_.front().second;
+  const std::size_t i = segment_for(x);
+  const auto& [x0, y0] = points_[i];
+  const auto& [x1, y1] = points_[i + 1];
+  EHPC_EXPECTS(x0 > 0.0 && y0 > 0.0 && y1 > 0.0);
+  const double t = (std::log(x) - std::log(x0)) / (std::log(x1) - std::log(x0));
+  return std::exp(std::log(y0) + t * (std::log(y1) - std::log(y0)));
+}
+
+}  // namespace ehpc

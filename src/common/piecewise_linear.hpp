@@ -1,0 +1,45 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace ehpc {
+
+/// A piecewise-linear function y(x) over strictly increasing breakpoints.
+///
+/// The paper's simulator (§4.3.1) models both job runtime as a function of
+/// replica count and rescale overhead as a function of problem size with
+/// piecewise-linear interpolation of measured data; this is that primitive.
+///
+/// Queries outside the breakpoint range extrapolate linearly from the first
+/// or last segment (clamped extrapolation is available via `at_clamped`).
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Construct from (x, y) points. Points are sorted by x; duplicate x values
+  /// are rejected. Requires at least one point.
+  explicit PiecewiseLinear(std::vector<std::pair<double, double>> points);
+
+  /// Interpolated/extrapolated value at x.
+  double at(double x) const;
+
+  /// Like `at`, but outside the range returns the boundary y value.
+  double at_clamped(double x) const;
+
+  /// Same samples interpolated in log-log space, which matches strong-scaling
+  /// curves (power laws appear as straight lines). All x and y must be > 0.
+  double at_loglog(double x) const;
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  const std::vector<std::pair<double, double>>& points() const { return points_; }
+
+ private:
+  // Index of the segment [points_[i], points_[i+1]] used for query x.
+  std::size_t segment_for(double x) const;
+
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace ehpc

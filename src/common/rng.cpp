@@ -1,0 +1,25 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ehpc {
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  EHPC_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    EHPC_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  EHPC_EXPECTS(total > 0.0);
+  double r = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace ehpc

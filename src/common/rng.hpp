@@ -1,0 +1,73 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ehpc {
+
+/// Deterministic, seedable random source used everywhere randomness is needed
+/// so experiments are reproducible run-to-run.
+///
+/// Wraps a 64-bit Mersenne Twister with convenience samplers. A `split()`
+/// operation derives an independent child stream, which lets parallel
+/// components own private generators without sharing state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    EHPC_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) {
+    EHPC_EXPECTS(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean) {
+    EHPC_EXPECTS(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal with the given mean and non-negative standard deviation.
+  double normal(double mean, double stddev) {
+    EHPC_EXPECTS(stddev >= 0.0);
+    if (stddev == 0.0) return mean;
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with probability p in [0, 1].
+  bool chance(double p) {
+    EHPC_EXPECTS(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Pick an index in [0, weights.size()) proportionally to `weights`.
+  /// All weights must be non-negative and at least one positive.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Derive an independent child generator. The child's stream does not
+  /// overlap this one's for practical purposes.
+  Rng split() { return Rng(engine_() ^ 0xd1b54a32d192ed03ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ehpc

@@ -1,0 +1,100 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ehpc {
+
+void RunningStats::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void WeightedMean::add(double value, double weight) {
+  EHPC_EXPECTS(weight >= 0.0);
+  weighted_sum_ += value * weight;
+  weight_sum_ += weight;
+  ++n_;
+}
+
+void WeightedMean::merge(const WeightedMean& other) {
+  weighted_sum_ += other.weighted_sum_;
+  weight_sum_ += other.weight_sum_;
+  n_ += other.n_;
+}
+
+double WeightedMean::value() const {
+  return weight_sum_ > 0.0 ? weighted_sum_ / weight_sum_ : 0.0;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  EHPC_EXPECTS(q >= 0.0 && q <= 1.0);
+  EHPC_EXPECTS(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double time_weighted_average(const std::vector<std::pair<double, double>>& steps,
+                             double end_time) {
+  if (steps.empty()) return 0.0;
+  EHPC_EXPECTS(end_time >= steps.front().first);
+  double weighted = 0.0;
+  double span = end_time - steps.front().first;
+  if (span <= 0.0) return steps.back().second;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const double t0 = steps[i].first;
+    const double t1 = (i + 1 < steps.size()) ? steps[i + 1].first : end_time;
+    if (t1 <= t0) continue;
+    weighted += steps[i].second * (std::min(t1, end_time) - t0);
+  }
+  return weighted / span;
+}
+
+}  // namespace ehpc

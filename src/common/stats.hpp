@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ehpc {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator into this one (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Weighted arithmetic mean accumulator. Used for the paper's
+/// priority-weighted mean response/completion time metrics.
+class WeightedMean {
+ public:
+  /// Add a sample with the given non-negative weight.
+  void add(double value, double weight);
+  void merge(const WeightedMean& other);
+
+  double value() const;
+  double total_weight() const { return weight_sum_; }
+  std::size_t count() const { return n_; }
+
+ private:
+  double weighted_sum_ = 0.0;
+  double weight_sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Percentile of a sample set via linear interpolation between order
+/// statistics. `q` is in [0, 1]. The input is copied and sorted.
+double percentile(std::vector<double> samples, double q);
+
+/// Mean of a sample vector (0 for empty input).
+double mean_of(const std::vector<double>& samples);
+
+/// Time-weighted average of a step function given as (timestamp, value)
+/// breakpoints: the function holds `value[i]` on [t[i], t[i+1]). The final
+/// value extends to `end_time`. Used to compute average cluster utilization
+/// from utilization-change events.
+double time_weighted_average(const std::vector<std::pair<double, double>>& steps,
+                             double end_time);
+
+}  // namespace ehpc

@@ -1,0 +1,106 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/format.hpp"
+
+#include "common/error.hpp"
+
+namespace ehpc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  EHPC_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  EHPC_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_values(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+      out << (c + 1 < cells.size() ? "  " : "");
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out << '"';
+        for (char ch : cell) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cell;
+      }
+      out << (c + 1 < cells.size() ? "," : "");
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      out << cells[c] << (c + 1 < cells.size() ? " | " : " |");
+    out << '\n';
+  };
+  emit(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out << "---|";
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_text();
+}
+
+std::string format_double(double value, int precision) {
+  std::string s = strformat("%.*f", precision, value);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace ehpc

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ehpc {
+
+/// Accumulates tabular results and renders them as aligned text, CSV, or
+/// GitHub-flavoured markdown. Every bench binary uses this to print the rows
+/// or series of the paper table/figure it regenerates.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  std::string to_text() const;
+  std::string to_csv() const;
+  std::string to_markdown() const;
+
+  /// Write `to_text()` to the stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double compactly ("12.3", "0.042"), trimming trailing zeros.
+std::string format_double(double value, int precision = 3);
+
+}  // namespace ehpc

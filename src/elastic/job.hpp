@@ -1,0 +1,59 @@
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ehpc::elastic {
+
+using JobId = int;
+
+/// User-facing job specification, mirroring the paper's extended MPIJob CRD
+/// fields: worker minReplicas/maxReplicas and a priority (§3.2.1). Larger
+/// `priority` values are more important; ties are broken by earlier
+/// submission time.
+struct JobSpec {
+  JobId id = 0;
+  std::string name;
+  int min_replicas = 1;
+  int max_replicas = 1;
+  int priority = 1;
+};
+
+/// Scheduler bookkeeping for one job.
+struct JobState {
+  JobSpec spec;
+  double submit_time = 0.0;
+  int replicas = 0;       ///< current allocation; 0 while queued
+  bool running = false;
+  bool completed = false;
+  /// Time of the last scheduling event affecting this job (creation, shrink,
+  /// expand); rescales are suppressed within T_rescale_gap of it.
+  double last_action_time = -std::numeric_limits<double>::infinity();
+};
+
+/// What the policy asks the executor to do.
+enum class ActionType {
+  kStart,    ///< launch a queued job with `target_replicas`
+  kShrink,   ///< rescale a running job down to `target_replicas`
+  kExpand,   ///< rescale a running job up to `target_replicas`
+  kEnqueue,  ///< keep the job in the wait queue (informational)
+};
+
+struct Action {
+  ActionType type = ActionType::kEnqueue;
+  JobId job = 0;
+  int target_replicas = 0;
+};
+
+/// Ordering used everywhere jobs are ranked: decreasing priority, then
+/// earlier submission first, then lower id for determinism.
+struct PriorityOrder {
+  bool operator()(const JobState& a, const JobState& b) const {
+    if (a.spec.priority != b.spec.priority) return a.spec.priority > b.spec.priority;
+    if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+    return a.spec.id < b.spec.id;
+  }
+};
+
+}  // namespace ehpc::elastic

@@ -1,0 +1,80 @@
+#include "elastic/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace ehpc::elastic {
+
+MetricsCollector::MetricsCollector(int total_slots) : total_slots_(total_slots) {
+  EHPC_EXPECTS(total_slots_ > 0);
+}
+
+void MetricsCollector::add_job(const JobRecord& record) {
+  EHPC_EXPECTS(record.start_time >= record.submit_time);
+  EHPC_EXPECTS(record.complete_time >= record.start_time);
+  jobs_.push_back(record);
+}
+
+void MetricsCollector::record_usage(double t, int used) {
+  EHPC_EXPECTS(used >= 0 && used <= total_slots_);
+  EHPC_EXPECTS(usage_.empty() || t >= usage_.back().first);
+  usage_.emplace_back(t, static_cast<double>(used));
+}
+
+RunMetrics MetricsCollector::compute() const {
+  EHPC_EXPECTS(!jobs_.empty());
+  RunMetrics m;
+
+  double first_submit = jobs_.front().submit_time;
+  double last_complete = jobs_.front().complete_time;
+  WeightedMean response;
+  WeightedMean completion;
+  for (const auto& j : jobs_) {
+    first_submit = std::min(first_submit, j.submit_time);
+    last_complete = std::max(last_complete, j.complete_time);
+    response.add(j.response_time(), static_cast<double>(j.priority));
+    completion.add(j.completion_time(), static_cast<double>(j.priority));
+  }
+  m.total_time_s = last_complete - first_submit;
+  m.weighted_response_s = response.value();
+  m.weighted_completion_s = completion.value();
+
+  if (!usage_.empty() && last_complete > first_submit) {
+    // Restrict the trace to the experiment window.
+    std::vector<std::pair<double, double>> window;
+    double current = 0.0;
+    for (const auto& [t, used] : usage_) {
+      if (t <= first_submit) {
+        current = used;
+      } else if (t <= last_complete) {
+        if (window.empty()) window.emplace_back(first_submit, current);
+        window.emplace_back(t, used);
+      }
+    }
+    if (window.empty()) window.emplace_back(first_submit, current);
+    m.utilization =
+        time_weighted_average(window, last_complete) / total_slots_;
+  }
+  return m;
+}
+
+RunMetrics average_metrics(const std::vector<RunMetrics>& runs) {
+  EHPC_EXPECTS(!runs.empty());
+  RunMetrics avg;
+  for (const auto& r : runs) {
+    avg.total_time_s += r.total_time_s;
+    avg.utilization += r.utilization;
+    avg.weighted_response_s += r.weighted_response_s;
+    avg.weighted_completion_s += r.weighted_completion_s;
+  }
+  const double n = static_cast<double>(runs.size());
+  avg.total_time_s /= n;
+  avg.utilization /= n;
+  avg.weighted_response_s /= n;
+  avg.weighted_completion_s /= n;
+  return avg;
+}
+
+}  // namespace ehpc::elastic

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "elastic/job.hpp"
+
+namespace ehpc::elastic {
+
+/// Lifecycle timestamps of one finished job.
+struct JobRecord {
+  JobId id = 0;
+  int priority = 1;
+  double submit_time = 0.0;
+  double start_time = 0.0;
+  double complete_time = 0.0;
+
+  double response_time() const { return start_time - submit_time; }
+  double completion_time() const { return complete_time - submit_time; }
+};
+
+/// The four metrics of paper §4.3, computed over one experiment run.
+struct RunMetrics {
+  double total_time_s = 0.0;        ///< first submission to last completion
+  double utilization = 0.0;         ///< time-weighted mean used/total slots
+  double weighted_response_s = 0.0;   ///< priority-weighted mean response
+  double weighted_completion_s = 0.0; ///< priority-weighted mean completion
+};
+
+/// Accumulates job records and a used-slots step trace, then computes the
+/// run metrics. Used identically by the performance simulator and the
+/// Kubernetes-substrate experiment so "Actual" and "Simulation" columns are
+/// directly comparable.
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(int total_slots);
+
+  void add_job(const JobRecord& record);
+
+  /// Record that `used` slots are busy from time `t` onward.
+  void record_usage(double t, int used);
+
+  RunMetrics compute() const;
+
+  const std::vector<JobRecord>& jobs() const { return jobs_; }
+  const std::vector<std::pair<double, double>>& usage_steps() const {
+    return usage_;
+  }
+
+ private:
+  int total_slots_;
+  std::vector<JobRecord> jobs_;
+  std::vector<std::pair<double, double>> usage_;  // (time, used slots)
+};
+
+/// Average each metric over several runs (the paper reports means over 100
+/// random job mixes).
+RunMetrics average_metrics(const std::vector<RunMetrics>& runs);
+
+}  // namespace ehpc::elastic

@@ -1,0 +1,26 @@
+#include "k8s/api.hpp"
+
+namespace ehpc::k8s {
+
+std::string to_string(PodPhase phase) {
+  switch (phase) {
+    case PodPhase::kPending: return "Pending";
+    case PodPhase::kScheduled: return "Scheduled";
+    case PodPhase::kRunning: return "Running";
+    case PodPhase::kSucceeded: return "Succeeded";
+    case PodPhase::kFailed: return "Failed";
+    case PodPhase::kTerminating: return "Terminating";
+  }
+  return "?";
+}
+
+bool matches_labels(const std::map<std::string, std::string>& labels,
+                    const std::map<std::string, std::string>& selector) {
+  for (const auto& [key, value] : selector) {
+    auto it = labels.find(key);
+    if (it == labels.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+}  // namespace ehpc::k8s

@@ -1,0 +1,68 @@
+#include "k8s/cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace ehpc::k8s {
+
+Cluster::Cluster(ClusterConfig config) {
+  scheduler_ = std::make_unique<KubeScheduler>(sim_, nodes_, pods_,
+                                               config.scheduler);
+  kubelet_ = std::make_unique<Kubelet>(sim_, pods_, config.kubelet);
+}
+
+void Cluster::add_nodes(const std::string& prefix, int count,
+                        Resources capacity) {
+  EHPC_EXPECTS(count > 0);
+  for (int i = 0; i < count; ++i) {
+    Node node;
+    node.meta.name = prefix + "-" + std::to_string(i);
+    node.meta.creation_time = sim_.now();
+    node.capacity = capacity;
+    nodes_.add(std::move(node));
+  }
+}
+
+const Pod& Cluster::create_pod(Pod pod) {
+  pod.meta.creation_time = sim_.now();
+  pod.phase = PodPhase::kPending;
+  return pods_.add(std::move(pod));
+}
+
+void Cluster::delete_pod(const std::string& name) {
+  const Pod* pod = pods_.find(name);
+  if (pod == nullptr || pod->phase == PodPhase::kTerminating) return;
+  pods_.mutate(name, [](Pod& p) { p.phase = PodPhase::kTerminating; });
+}
+
+int Cluster::total_cpus() const {
+  int total = 0;
+  for (const Node* node : nodes_.list()) {
+    if (node->ready) total += node->capacity.cpus;
+  }
+  return total;
+}
+
+int Cluster::used_cpus() const {
+  int used = 0;
+  for (const Pod* pod : pods_.list()) {
+    if (pod->phase == PodPhase::kSucceeded || pod->phase == PodPhase::kFailed) {
+      continue;
+    }
+    used += pod->request.cpus;
+  }
+  return used;
+}
+
+int Cluster::bound_cpus() const {
+  int used = 0;
+  for (const Pod* pod : pods_.list()) {
+    if (pod->node_name.empty()) continue;
+    if (pod->phase == PodPhase::kSucceeded || pod->phase == PodPhase::kFailed) {
+      continue;
+    }
+    used += pod->request.cpus;
+  }
+  return used;
+}
+
+}  // namespace ehpc::k8s

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "k8s/api.hpp"
+#include "k8s/kubelet.hpp"
+#include "k8s/scheduler.hpp"
+#include "k8s/store.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace ehpc::k8s {
+
+struct ClusterConfig {
+  SchedulerConfig scheduler;
+  KubeletConfig kubelet;
+};
+
+/// The assembled control plane: simulation clock, node/pod stores, the
+/// scheduler and the node agent, plus convenience helpers mirroring common
+/// kubectl verbs. Higher layers (the Charm++ operator) build on this facade.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+
+  /// Add `count` ready nodes named `<prefix>-<i>` with the given capacity.
+  /// The paper's testbed is `add_nodes("node", 4, {16, 32768})`.
+  void add_nodes(const std::string& prefix, int count, Resources capacity);
+
+  /// Create a pending pod; the scheduler will place it.
+  const Pod& create_pod(Pod pod);
+
+  /// Request pod deletion (phase -> Terminating; kubelet removes it later).
+  void delete_pod(const std::string& name);
+
+  /// Total CPU capacity across ready nodes.
+  int total_cpus() const;
+
+  /// CPUs claimed by non-finished pods (including still-pending ones).
+  int used_cpus() const;
+
+  /// CPUs claimed by pods actually placed on a node (bound, running or
+  /// terminating) — what a utilization monitor would observe.
+  int bound_cpus() const;
+
+  sim::Simulation& sim() { return sim_; }
+  ObjectStore<Node>& nodes() { return nodes_; }
+  ObjectStore<Pod>& pods() { return pods_; }
+  KubeScheduler& scheduler() { return *scheduler_; }
+  Kubelet& kubelet() { return *kubelet_; }
+  sim::TraceRecorder& trace() { return trace_; }
+
+ private:
+  sim::Simulation sim_;
+  ObjectStore<Node> nodes_;
+  ObjectStore<Pod> pods_;
+  std::unique_ptr<KubeScheduler> scheduler_;
+  std::unique_ptr<Kubelet> kubelet_;
+  sim::TraceRecorder trace_;
+};
+
+}  // namespace ehpc::k8s

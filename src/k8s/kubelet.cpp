@@ -1,0 +1,38 @@
+#include "k8s/kubelet.hpp"
+
+#include "common/log.hpp"
+
+namespace ehpc::k8s {
+
+Kubelet::Kubelet(sim::Simulation& sim, ObjectStore<Pod>& pods,
+                 KubeletConfig config)
+    : sim_(sim), pods_(pods), config_(config) {
+  pods_.watch([this](WatchEvent event, const Pod& pod) {
+    if (event == WatchEvent::kDeleted) return;
+    const std::string name = pod.meta.name;
+    if (pod.phase == PodPhase::kScheduled) {
+      sim_.schedule_after(config_.pod_startup_s, [this, name] {
+        const Pod* p = pods_.find(name);
+        if (p == nullptr || p->phase != PodPhase::kScheduled) return;
+        const double now = sim_.now();
+        pods_.mutate(name, [now](Pod& pp) {
+          pp.phase = PodPhase::kRunning;
+          pp.running_time = now;
+        });
+        ++started_count_;
+        EHPC_DEBUG("kubelet", "pod %s running on %s", name.c_str(),
+                   p->node_name.c_str());
+      });
+    } else if (pod.phase == PodPhase::kTerminating) {
+      sim_.schedule_after(config_.pod_stop_s, [this, name] {
+        const Pod* p = pods_.find(name);
+        if (p == nullptr || p->phase != PodPhase::kTerminating) return;
+        pods_.remove(name);
+        ++stopped_count_;
+        EHPC_DEBUG("kubelet", "pod %s removed", name.c_str());
+      });
+    }
+  });
+}
+
+}  // namespace ehpc::k8s

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "k8s/api.hpp"
+#include "k8s/store.hpp"
+#include "sim/simulation.hpp"
+
+namespace ehpc::k8s {
+
+struct KubeletConfig {
+  double pod_startup_s = 2.0;  ///< image pull + container start
+  double pod_stop_s = 1.0;     ///< termination grace handling
+};
+
+/// The node-agent role of the substrate (one instance drives all nodes):
+/// brings Scheduled pods to Running after the startup latency and removes
+/// Terminating pods after the stop latency. These latencies are exactly the
+/// operator-level overheads the paper's simulator ignores, which is what
+/// separates the "Actual" from the "Simulation" columns of Table 1.
+class Kubelet {
+ public:
+  Kubelet(sim::Simulation& sim, ObjectStore<Pod>& pods, KubeletConfig config);
+
+  int started_count() const { return started_count_; }
+  int stopped_count() const { return stopped_count_; }
+
+ private:
+  sim::Simulation& sim_;
+  ObjectStore<Pod>& pods_;
+  KubeletConfig config_;
+  int started_count_ = 0;
+  int stopped_count_ = 0;
+};
+
+}  // namespace ehpc::k8s

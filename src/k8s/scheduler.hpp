@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+
+#include "k8s/api.hpp"
+#include "k8s/store.hpp"
+#include "sim/simulation.hpp"
+
+namespace ehpc::k8s {
+
+/// Placement strategy of the scoring phase.
+enum class PlacementStrategy {
+  kBinPack,  ///< prefer the most-allocated feasible node (fills gaps)
+  kSpread,   ///< prefer the least-allocated feasible node
+};
+
+struct SchedulerConfig {
+  /// Delay between a pod appearing and its binding (queue + cycle latency).
+  double schedule_latency_s = 0.05;
+  PlacementStrategy strategy = PlacementStrategy::kBinPack;
+  /// Score bonus per co-located pod matching the pod's affinity selector.
+  /// The Charm++ operator relies on this for locality-aware placement.
+  double affinity_weight = 4.0;
+};
+
+/// The kube-scheduler of the substrate: watches for Pending pods, runs a
+/// filter phase (node ready, resources fit) and a scoring phase (binpack or
+/// spread, plus soft pod-affinity), then binds the pod after the configured
+/// scheduling latency. Pods that fit nowhere stay Pending and are retried on
+/// every subsequent pod/node change.
+class KubeScheduler {
+ public:
+  KubeScheduler(sim::Simulation& sim, ObjectStore<Node>& nodes,
+                ObjectStore<Pod>& pods, SchedulerConfig config);
+
+  /// Resources currently claimed on a node by bound, non-finished pods
+  /// (Terminating pods still hold their request until removed).
+  Resources used_on(const std::string& node_name) const;
+
+  /// Feasible-and-best node for `pod`, or empty if none fits right now.
+  std::string pick_node(const Pod& pod) const;
+
+  int scheduled_count() const { return scheduled_count_; }
+
+ private:
+  void try_schedule(const std::string& pod_name);
+  void retry_pending();
+
+  sim::Simulation& sim_;
+  ObjectStore<Node>& nodes_;
+  ObjectStore<Pod>& pods_;
+  SchedulerConfig config_;
+  int scheduled_count_ = 0;
+};
+
+}  // namespace ehpc::k8s

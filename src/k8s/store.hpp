@@ -1,0 +1,118 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ehpc::k8s {
+
+/// Kind of change delivered to watchers.
+enum class WatchEvent { kAdded, kModified, kDeleted };
+
+/// A typed, versioned object store with synchronous watch delivery — the
+/// API-server role of the substrate. Every mutation bumps the object's
+/// resourceVersion and notifies registered watchers in registration order,
+/// which is how the scheduler, kubelets and the operator's controller react
+/// to cluster changes (the "watch" machinery of real Kubernetes, collapsed
+/// into an in-process call graph driven by the simulation).
+///
+/// T must expose an ObjectMeta member named `meta`.
+template <typename T>
+class ObjectStore {
+ public:
+  using Watcher = std::function<void(WatchEvent, const T&)>;
+
+  /// Insert a new object; its name must be unused. Returns the stored copy.
+  const T& add(T object) {
+    EHPC_EXPECTS(!object.meta.name.empty());
+    EHPC_EXPECTS(objects_.count(object.meta.name) == 0);
+    object.meta.resource_version = ++version_counter_;
+    auto [it, ok] = objects_.emplace(object.meta.name, std::move(object));
+    EHPC_ENSURES(ok);
+    notify(WatchEvent::kAdded, it->second);
+    return it->second;
+  }
+
+  /// Replace an existing object (matched by name).
+  const T& update(T object) {
+    auto it = objects_.find(object.meta.name);
+    EHPC_EXPECTS(it != objects_.end());
+    object.meta.resource_version = ++version_counter_;
+    it->second = std::move(object);
+    notify(WatchEvent::kModified, it->second);
+    return it->second;
+  }
+
+  /// Mutate an object in place through `fn`; bumps the version and notifies.
+  template <typename Fn>
+  const T& mutate(const std::string& name, Fn&& fn) {
+    auto it = objects_.find(name);
+    EHPC_EXPECTS(it != objects_.end());
+    fn(it->second);
+    it->second.meta.resource_version = ++version_counter_;
+    notify(WatchEvent::kModified, it->second);
+    return it->second;
+  }
+
+  /// Delete by name. Returns false if absent.
+  bool remove(const std::string& name) {
+    auto it = objects_.find(name);
+    if (it == objects_.end()) return false;
+    T object = std::move(it->second);
+    objects_.erase(it);
+    notify(WatchEvent::kDeleted, object);
+    return true;
+  }
+
+  bool contains(const std::string& name) const { return objects_.count(name) > 0; }
+
+  const T& get(const std::string& name) const {
+    auto it = objects_.find(name);
+    EHPC_EXPECTS(it != objects_.end());
+    return it->second;
+  }
+
+  const T* find(const std::string& name) const {
+    auto it = objects_.find(name);
+    return it == objects_.end() ? nullptr : &it->second;
+  }
+
+  /// All objects in name order (deterministic iteration).
+  std::vector<const T*> list() const {
+    std::vector<const T*> out;
+    out.reserve(objects_.size());
+    for (const auto& [name, obj] : objects_) out.push_back(&obj);
+    return out;
+  }
+
+  /// Objects satisfying a predicate.
+  template <typename Pred>
+  std::vector<const T*> list_where(Pred&& pred) const {
+    std::vector<const T*> out;
+    for (const auto& [name, obj] : objects_) {
+      if (pred(obj)) out.push_back(&obj);
+    }
+    return out;
+  }
+
+  std::size_t size() const { return objects_.size(); }
+
+  /// Register a watcher; it fires for every subsequent mutation.
+  void watch(Watcher watcher) { watchers_.push_back(std::move(watcher)); }
+
+  std::uint64_t latest_version() const { return version_counter_; }
+
+ private:
+  void notify(WatchEvent event, const T& object) {
+    for (const auto& w : watchers_) w(event, object);
+  }
+
+  std::map<std::string, T> objects_;
+  std::vector<Watcher> watchers_;
+  std::uint64_t version_counter_ = 0;
+};
+
+}  // namespace ehpc::k8s

@@ -1,0 +1,34 @@
+#include "net/cost_model.hpp"
+
+#include "common/error.hpp"
+
+namespace ehpc::net::presets {
+
+CostModel eks_placement_group() {
+  // Intra-node: shared-memory transport. Inter-node: EFA-like fabric in a
+  // placement group. Bandwidths are effective per-stream, not line rate.
+  return CostModel(LinkModel{0.5e-6, 8.0e9}, LinkModel{20.0e-6, 1.5e9}, 1.0e-6);
+}
+
+CostModel pod_network() {
+  // kube-proxy + TCP over ENA: high per-message latency, decent bandwidth.
+  return CostModel(LinkModel{0.5e-6, 8.0e9}, LinkModel{300.0e-6, 1.0e9}, 2.0e-6);
+}
+
+CostModel generic_cloud() {
+  return CostModel(LinkModel{0.5e-6, 8.0e9}, LinkModel{100.0e-6, 0.25e9}, 1.0e-6);
+}
+
+CostModel infiniband() {
+  return CostModel(LinkModel{0.3e-6, 12.0e9}, LinkModel{2.0e-6, 12.0e9}, 0.5e-6);
+}
+
+CostModel by_name(const std::string& name) {
+  if (name == "eks") return eks_placement_group();
+  if (name == "pod") return pod_network();
+  if (name == "cloud") return generic_cloud();
+  if (name == "ib") return infiniband();
+  throw PreconditionError("unknown network preset: " + name);
+}
+
+}  // namespace ehpc::net::presets

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ehpc::net {
+
+/// Alpha-beta (latency-bandwidth) point-to-point message cost model.
+///
+/// transfer_time(n bytes) = alpha + n / bandwidth. Costs differ for
+/// intra-node (shared memory) and inter-node (fabric) transfers, which is
+/// how pod placement/affinity affects application performance in the
+/// Kubernetes substrate.
+struct LinkModel {
+  double alpha_s = 0.0;           ///< per-message latency, seconds
+  double bandwidth_Bps = 1.0e9;   ///< bytes per second
+
+  double transfer_time(std::size_t bytes) const {
+    return alpha_s + static_cast<double>(bytes) / bandwidth_Bps;
+  }
+};
+
+/// Cluster-level communication model: intra-node vs inter-node links plus
+/// a small fixed software overhead per message (serialization, scheduling).
+class CostModel {
+ public:
+  CostModel(LinkModel intra_node, LinkModel inter_node, double per_msg_sw_s)
+      : intra_(intra_node), inter_(inter_node), software_s_(per_msg_sw_s) {}
+
+  /// Time for a message of `bytes` between two PEs given their node ids.
+  double message_time(std::size_t bytes, int src_node, int dst_node) const {
+    const LinkModel& link = (src_node == dst_node) ? intra_ : inter_;
+    return software_s_ + link.transfer_time(bytes);
+  }
+
+  /// Latency floor for a zero-byte message between distinct nodes. Used by
+  /// collective models.
+  double inter_alpha() const { return software_s_ + inter_.alpha_s; }
+
+  const LinkModel& intra_node() const { return intra_; }
+  const LinkModel& inter_node() const { return inter_; }
+
+ private:
+  LinkModel intra_;
+  LinkModel inter_;
+  double software_s_;
+};
+
+/// Presets calibrated to the environments the paper discusses.
+namespace presets {
+
+/// AWS EKS, c6g.4xlarge in a cluster placement group (paper §4): ~20 us
+/// fabric latency, ~12.5 Gbit/s effective per-stream bandwidth.
+CostModel eks_placement_group();
+
+/// The paper's actual transport: OpenMPI over TCP on the pod network (ENA,
+/// no EFA) — per-message latency in the hundreds of microseconds even
+/// inside a placement group. This is what makes multi-node allocations
+/// markedly less efficient than single-node ones in the evaluation.
+CostModel pod_network();
+
+/// Generic cloud networking without placement groups: ~100 us latency,
+/// ~2 Gbit/s effective.
+CostModel generic_cloud();
+
+/// On-prem InfiniBand-class interconnect (for contrast experiments):
+/// ~2 us latency, ~100 Gbit/s.
+CostModel infiniband();
+
+/// Look up a preset by name ("eks", "pod", "cloud", "ib"); throws on unknown names.
+CostModel by_name(const std::string& name);
+
+}  // namespace presets
+
+}  // namespace ehpc::net

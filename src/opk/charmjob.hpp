@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "elastic/job.hpp"
+#include "elastic/workload.hpp"
+#include "k8s/api.hpp"
+
+namespace ehpc::opk {
+
+/// Lifecycle of a CharmJob custom resource.
+enum class CharmJobPhase {
+  kQueued,     ///< submitted, waiting for capacity
+  kLaunching,  ///< pods being created/scheduled/started
+  kRunning,
+  kResizing,   ///< shrink/expand handshake in flight
+  kCompleted,
+};
+
+std::string to_string(CharmJobPhase phase);
+
+/// The operator's custom resource (paper §3.2.1: the MPIJob CRD extended
+/// with minReplicas, maxReplicas and priority). `desired_replicas` is what
+/// the elastic scheduling policy currently wants; the controller reconciles
+/// worker pods toward it.
+struct CharmJob {
+  k8s::ObjectMeta meta;
+  elastic::JobSpec job;                 ///< min/max replicas, priority
+  elastic::JobClass job_class = elastic::JobClass::kSmall;
+  int desired_replicas = 0;
+  CharmJobPhase phase = CharmJobPhase::kQueued;
+  int ready_replicas = 0;
+  /// The "nodelist file" the controller maintains for the Charm++ launcher:
+  /// worker pod names in rank order.
+  std::vector<std::string> nodelist;
+};
+
+}  // namespace ehpc::opk

@@ -1,0 +1,163 @@
+#include "opk/controller.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace ehpc::opk {
+
+std::string to_string(CharmJobPhase phase) {
+  switch (phase) {
+    case CharmJobPhase::kQueued: return "Queued";
+    case CharmJobPhase::kLaunching: return "Launching";
+    case CharmJobPhase::kRunning: return "Running";
+    case CharmJobPhase::kResizing: return "Resizing";
+    case CharmJobPhase::kCompleted: return "Completed";
+  }
+  return "?";
+}
+
+CharmJobController::CharmJobController(k8s::Cluster& cluster,
+                                       k8s::ObjectStore<CharmJob>& jobs,
+                                       ControllerConfig config)
+    : cluster_(cluster), jobs_(jobs), config_(config) {
+  // CharmJob changes enqueue a reconcile after the controller latency.
+  jobs_.watch([this](k8s::WatchEvent event, const CharmJob& job) {
+    if (event == k8s::WatchEvent::kDeleted) return;
+    request_reconcile(job.meta.name);
+  });
+  // Pod phase changes update the owning job's readiness.
+  cluster_.pods().watch([this](k8s::WatchEvent, const k8s::Pod& pod) {
+    auto it = pod.meta.labels.find("job");
+    if (it == pod.meta.labels.end()) return;
+    const std::string job_name = it->second;
+    cluster_.sim().schedule_after(0.0, [this, job_name] {
+      if (jobs_.contains(job_name)) update_readiness(job_name);
+    });
+  });
+}
+
+std::string CharmJobController::pod_name(const std::string& job_name,
+                                         int rank) const {
+  return job_name + "-worker-" + std::to_string(rank);
+}
+
+void CharmJobController::request_reconcile(const std::string& job_name) {
+  cluster_.sim().schedule_after(config_.reconcile_latency_s, [this, job_name] {
+    if (jobs_.contains(job_name)) reconcile(job_name);
+  });
+}
+
+void CharmJobController::reconcile(const std::string& job_name) {
+  ++reconcile_count_;
+  const CharmJob& job = jobs_.get(job_name);
+  if (job.phase == CharmJobPhase::kCompleted) {
+    // Tear down every worker pod.
+    for (const k8s::Pod* pod : cluster_.pods().list_where(
+             [&](const k8s::Pod& p) {
+               auto it = p.meta.labels.find("job");
+               return it != p.meta.labels.end() && it->second == job_name;
+             })) {
+      cluster_.delete_pod(pod->meta.name);
+    }
+    return;
+  }
+  if (job.desired_replicas <= 0) return;
+
+  // The launcher pod (mpirun home) requests no CPU so it never competes
+  // with worker slots, mirroring the paper's testbed where the launcher
+  // does not occupy a worker vCPU.
+  const std::string launcher = job_name + "-launcher";
+  if (cluster_.pods().find(launcher) == nullptr) {
+    k8s::Pod pod;
+    pod.meta.name = launcher;
+    pod.meta.labels["job"] = job_name;
+    pod.meta.labels["role"] = "launcher";
+    pod.request = {0, 256};
+    cluster_.create_pod(std::move(pod));
+  }
+
+  // Worker pods are rank-addressed; ranks >= desired are surplus.
+  for (int rank = 0; rank < job.desired_replicas; ++rank) {
+    const std::string name = pod_name(job_name, rank);
+    const k8s::Pod* existing = cluster_.pods().find(name);
+    if (existing != nullptr && existing->phase != k8s::PodPhase::kTerminating) {
+      continue;
+    }
+    if (existing != nullptr) continue;  // terminating: wait for removal
+    k8s::Pod pod;
+    pod.meta.name = name;
+    pod.meta.labels["job"] = job_name;
+    pod.meta.labels["role"] = "worker";
+    pod.request = {1, 512};  // one vCPU per worker (non-SMP: 1 PE/replica)
+    pod.affinity_key = "job";
+    pod.affinity_value = job_name;
+    cluster_.create_pod(std::move(pod));
+  }
+  // Delete surplus ranks (highest first, matching shrink semantics: the
+  // runtime has already evacuated those PEs before we get here).
+  for (const k8s::Pod* pod : cluster_.pods().list_where(
+           [&](const k8s::Pod& p) {
+             auto jt = p.meta.labels.find("job");
+             auto rt = p.meta.labels.find("role");
+             return jt != p.meta.labels.end() && jt->second == job_name &&
+                    rt != p.meta.labels.end() && rt->second == "worker";
+           })) {
+    // Rank = suffix after last '-'.
+    const std::string& name = pod->meta.name;
+    const auto dash = name.rfind('-');
+    const int rank = std::atoi(name.substr(dash + 1).c_str());
+    if (rank >= job.desired_replicas) cluster_.delete_pod(name);
+  }
+  update_readiness(job_name);
+}
+
+void CharmJobController::update_readiness(const std::string& job_name) {
+  const CharmJob& job = jobs_.get(job_name);
+  if (job.phase == CharmJobPhase::kCompleted) return;
+  int running = 0;
+  std::vector<std::string> nodelist;
+  for (const k8s::Pod* pod : cluster_.pods().list_where(
+           [&](const k8s::Pod& p) {
+             auto jt = p.meta.labels.find("job");
+             auto rt = p.meta.labels.find("role");
+             return jt != p.meta.labels.end() && jt->second == job_name &&
+                    rt != p.meta.labels.end() && rt->second == "worker";
+           })) {
+    if (pod->phase == k8s::PodPhase::kRunning) {
+      ++running;
+      nodelist.push_back(pod->meta.name);
+    }
+  }
+  std::sort(nodelist.begin(), nodelist.end());
+  const int desired = job.desired_replicas;
+  if (running != job.ready_replicas || nodelist != job.nodelist) {
+    jobs_.mutate(job_name, [&](CharmJob& j) {
+      j.ready_replicas = running;
+      j.nodelist = std::move(nodelist);
+    });
+  }
+  if (desired > 0 && running >= desired) {
+    auto it = ready_waiters_.find(job_name);
+    if (it != ready_waiters_.end()) {
+      auto fn = std::move(it->second);
+      ready_waiters_.erase(it);
+      EHPC_DEBUG("opk", "job %s ready with %d replicas", job_name.c_str(),
+                 running);
+      fn(job_name);
+    }
+  }
+}
+
+void CharmJobController::when_ready(const std::string& job_name,
+                                    ReadyCallback fn) {
+  EHPC_EXPECTS(fn != nullptr);
+  EHPC_EXPECTS(ready_waiters_.count(job_name) == 0);
+  ready_waiters_[job_name] = std::move(fn);
+  cluster_.sim().schedule_after(0.0, [this, job_name] {
+    if (jobs_.contains(job_name)) update_readiness(job_name);
+  });
+}
+
+}  // namespace ehpc::opk

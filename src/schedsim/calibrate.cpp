@@ -1,0 +1,30 @@
+#include "schedsim/calibrate.hpp"
+
+#include "apps/calibration.hpp"
+
+namespace ehpc::schedsim {
+
+using elastic::JobClass;
+using elastic::Workload;
+
+std::map<JobClass, Workload> analytic_workloads() {
+  std::map<JobClass, Workload> out;
+  for (auto c : {JobClass::kSmall, JobClass::kMedium, JobClass::kLarge,
+                 JobClass::kXLarge}) {
+    out.emplace(c, elastic::make_workload(c));
+  }
+  return out;
+}
+
+std::map<JobClass, Workload> calibrated_workloads() {
+  std::map<JobClass, Workload> out = analytic_workloads();
+  const std::vector<int> replicas{1, 2, 4, 8, 16, 32, 64};
+  for (auto& [cls, workload] : out) {
+    const auto points =
+        apps::measure_jacobi_scaling(workload.grid_n, replicas, /*iterations=*/8);
+    workload.time_per_step = apps::scaling_curve(points);
+  }
+  return out;
+}
+
+}  // namespace ehpc::schedsim

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <map>
+
+#include "elastic/workload.hpp"
+
+namespace ehpc::schedsim {
+
+/// Workloads with analytic step-time curves (no minicharm runs needed).
+std::map<elastic::JobClass, elastic::Workload> analytic_workloads();
+
+/// Workloads whose step-time curves are *measured* by running Jacobi2D on
+/// the minicharm runtime at each replica count — the repo-internal analogue
+/// of the paper's "strong scaling performance measurements" feeding its
+/// simulator. Deterministic; takes a fraction of a second.
+std::map<elastic::JobClass, elastic::Workload> calibrated_workloads();
+
+}  // namespace ehpc::schedsim

@@ -1,0 +1,25 @@
+#include "schedsim/jobmix.hpp"
+
+#include "common/error.hpp"
+
+namespace ehpc::schedsim {
+
+std::vector<SubmittedJob> JobMixGenerator::generate(int num_jobs,
+                                                    double submission_gap) {
+  EHPC_EXPECTS(num_jobs > 0);
+  EHPC_EXPECTS(submission_gap >= 0.0);
+  std::vector<SubmittedJob> out;
+  out.reserve(static_cast<std::size_t>(num_jobs));
+  for (int i = 0; i < num_jobs; ++i) {
+    const auto cls = static_cast<elastic::JobClass>(rng_.uniform_int(0, 3));
+    const int priority = static_cast<int>(rng_.uniform_int(1, 5));
+    SubmittedJob job;
+    job.spec = elastic::spec_for_class(cls, /*id=*/i, priority);
+    job.job_class = cls;
+    job.submit_time = submission_gap * static_cast<double>(i);
+    out.push_back(job);
+  }
+  return out;
+}
+
+}  // namespace ehpc::schedsim

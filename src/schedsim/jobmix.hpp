@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "elastic/job.hpp"
+#include "elastic/workload.hpp"
+
+namespace ehpc::schedsim {
+
+/// One job of an experiment: its spec, size class, and submission time.
+struct SubmittedJob {
+  elastic::JobSpec spec;
+  elastic::JobClass job_class = elastic::JobClass::kSmall;
+  double submit_time = 0.0;
+};
+
+/// Generates the paper's random experiment mixes (§4.3.1): `num_jobs` jobs
+/// drawn uniformly from the four size classes with priorities uniform in
+/// [1, 5], submitted `submission_gap` seconds apart.
+class JobMixGenerator {
+ public:
+  explicit JobMixGenerator(unsigned seed) : rng_(seed) {}
+
+  std::vector<SubmittedJob> generate(int num_jobs, double submission_gap);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace ehpc::schedsim

@@ -1,0 +1,87 @@
+#include "schedsim/sweeps.hpp"
+
+#include "common/error.hpp"
+#include "schedsim/calibrate.hpp"
+
+namespace ehpc::schedsim {
+
+using elastic::PolicyMode;
+
+namespace {
+
+const std::vector<PolicyMode> kAllModes{
+    PolicyMode::kRigidMin, PolicyMode::kRigidMax, PolicyMode::kMoldable,
+    PolicyMode::kElastic};
+
+std::map<elastic::JobClass, elastic::Workload> workloads_for(
+    const ExperimentParams& params) {
+  return params.calibrated ? calibrated_workloads() : analytic_workloads();
+}
+
+PolicyMetrics compare_with_workloads(
+    const ExperimentParams& params,
+    const std::map<elastic::JobClass, elastic::Workload>& workloads) {
+  std::map<PolicyMode, std::vector<elastic::RunMetrics>> runs;
+  for (int rep = 0; rep < params.repeats; ++rep) {
+    JobMixGenerator gen(params.seed + static_cast<unsigned>(rep));
+    const auto mix = gen.generate(params.num_jobs, params.submission_gap_s);
+    for (PolicyMode mode : kAllModes) {
+      elastic::PolicyConfig cfg;
+      cfg.mode = mode;
+      cfg.rescale_gap_s = params.rescale_gap_s;
+      SchedSimulator sim(params.total_slots, cfg, workloads);
+      runs[mode].push_back(sim.run(mix).metrics);
+    }
+  }
+  PolicyMetrics out;
+  for (PolicyMode mode : kAllModes) {
+    out.emplace(mode, elastic::average_metrics(runs.at(mode)));
+  }
+  return out;
+}
+
+}  // namespace
+
+PolicyMetrics compare_policies(const ExperimentParams& params) {
+  return compare_with_workloads(params, workloads_for(params));
+}
+
+std::vector<SweepPoint> sweep_submission_gap(const ExperimentParams& params,
+                                             const std::vector<double>& gaps) {
+  EHPC_EXPECTS(!gaps.empty());
+  const auto workloads = workloads_for(params);
+  std::vector<SweepPoint> out;
+  for (double gap : gaps) {
+    ExperimentParams p = params;
+    p.submission_gap_s = gap;
+    out.push_back(SweepPoint{gap, compare_with_workloads(p, workloads)});
+  }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_rescale_gap(const ExperimentParams& params,
+                                          const std::vector<double>& gaps) {
+  EHPC_EXPECTS(!gaps.empty());
+  const auto workloads = workloads_for(params);
+  std::vector<SweepPoint> out;
+  for (double gap : gaps) {
+    ExperimentParams p = params;
+    p.rescale_gap_s = gap;
+    out.push_back(SweepPoint{gap, compare_with_workloads(p, workloads)});
+  }
+  return out;
+}
+
+SimResult run_single(const ExperimentParams& params, PolicyMode mode,
+                     unsigned mix_seed) {
+  const auto workloads = workloads_for(params);
+  JobMixGenerator gen(mix_seed);
+  const auto mix = gen.generate(params.num_jobs, params.submission_gap_s);
+  elastic::PolicyConfig cfg;
+  cfg.mode = mode;
+  cfg.rescale_gap_s = params.rescale_gap_s;
+  SchedSimulator sim(params.total_slots, cfg, workloads);
+  return sim.run(mix);
+}
+
+}  // namespace ehpc::schedsim

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "elastic/metrics.hpp"
+#include "elastic/policy.hpp"
+#include "schedsim/simulator.hpp"
+
+namespace ehpc::schedsim {
+
+/// Parameters shared by the paper's simulation experiments (§4.3.1).
+struct ExperimentParams {
+  int total_slots = 64;     ///< 4 nodes × 16 vCPUs
+  int num_jobs = 16;
+  double submission_gap_s = 90.0;
+  double rescale_gap_s = 180.0;
+  int repeats = 100;        ///< random mixes averaged per data point
+  unsigned seed = 2025;
+  bool calibrated = true;   ///< measure step-time curves from minicharm
+};
+
+/// Metrics of all four policies on one shared set of random mixes.
+using PolicyMetrics = std::map<elastic::PolicyMode, elastic::RunMetrics>;
+
+/// Run every policy over `repeats` random mixes (each mix shared across
+/// policies) and average the metrics.
+PolicyMetrics compare_policies(const ExperimentParams& params);
+
+/// One point of a sweep.
+struct SweepPoint {
+  double x = 0.0;  ///< the swept parameter value
+  PolicyMetrics metrics;
+};
+
+/// Paper Fig. 7: vary the gap between consecutive submissions.
+std::vector<SweepPoint> sweep_submission_gap(const ExperimentParams& params,
+                                             const std::vector<double>& gaps);
+
+/// Paper Fig. 8: vary T_rescale_gap at a fixed submission gap.
+std::vector<SweepPoint> sweep_rescale_gap(const ExperimentParams& params,
+                                          const std::vector<double>& gaps);
+
+/// One full run of a single policy on a single deterministic mix, returning
+/// traces for Fig. 9-style plots (utilization profile, per-job replicas).
+SimResult run_single(const ExperimentParams& params, elastic::PolicyMode mode,
+                     unsigned mix_seed);
+
+}  // namespace ehpc::schedsim

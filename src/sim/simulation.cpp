@@ -1,0 +1,76 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ehpc::sim {
+
+EventId Simulation::schedule_at(Time at, Callback fn) {
+  EHPC_EXPECTS(at >= now_);
+  EHPC_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulation::schedule_after(Time delay, Callback fn) {
+  EHPC_EXPECTS(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulation::cancel(EventId id) {
+  // The heap entry stays behind as a tombstone; pop_next skips it.
+  return callbacks_.erase(id) > 0;
+}
+
+bool Simulation::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    if (callbacks_.count(top.id) > 0) {
+      out = top;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Simulation::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  auto node = callbacks_.extract(entry.id);
+  now_ = entry.time;
+  ++executed_;
+  node.mapped()();
+  return true;
+}
+
+std::size_t Simulation::run() {
+  std::size_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+std::size_t Simulation::run_until(Time until) {
+  EHPC_EXPECTS(until >= now_);
+  std::size_t count = 0;
+  for (;;) {
+    Entry entry;
+    // Peek: pop, and if it is beyond the horizon push it back untouched.
+    if (!pop_next(entry)) break;
+    if (entry.time > until) {
+      heap_.push(entry);
+      break;
+    }
+    auto node = callbacks_.extract(entry.id);
+    now_ = entry.time;
+    ++executed_;
+    node.mapped()();
+    ++count;
+  }
+  now_ = std::max(now_, until);
+  return count;
+}
+
+}  // namespace ehpc::sim

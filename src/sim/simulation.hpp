@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ehpc::sim {
+
+/// Virtual time in seconds since simulation start.
+using Time = double;
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+/// A single-threaded discrete-event simulation kernel.
+///
+/// Events are callbacks scheduled at absolute virtual times. Ties are broken
+/// by scheduling order (FIFO among equal timestamps), which makes runs fully
+/// deterministic. The kernel underpins both the Kubernetes substrate (pod
+/// startup, reconcile latencies) and the scheduler-performance simulator.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (must be >= now()). Returns an id
+  /// usable with `cancel`.
+  EventId schedule_at(Time at, Callback fn);
+
+  /// Schedule `fn` after a non-negative delay relative to now().
+  EventId schedule_after(Time delay, Callback fn);
+
+  /// Cancel a pending event. Returns false if the event already ran, was
+  /// already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Run events until the queue is empty. Returns the number of events run.
+  std::size_t run();
+
+  /// Run events with time <= `until`, then advance the clock to `until`
+  /// (if the queue empties earlier). Returns the number of events run.
+  std::size_t run_until(Time until);
+
+  /// Execute at most one event. Returns false if the queue is empty.
+  bool step();
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return callbacks_.size(); }
+
+  bool empty() const { return pending() == 0; }
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    EventId id;
+    // Ordered as a min-heap: smallest (time, seq) first.
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  // Pop the next live entry, skipping cancelled ones. Returns false if none.
+  bool pop_next(Entry& out);
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace ehpc::sim

@@ -1,0 +1,113 @@
+#include "apps/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/jacobi2d.hpp"
+
+namespace ehpc::apps {
+namespace {
+
+charm::RuntimeConfig pes(int n) {
+  charm::RuntimeConfig cfg;
+  cfg.num_pes = n;
+  cfg.pes_per_node = 4;
+  return cfg;
+}
+
+JacobiConfig tiny(int iters) {
+  JacobiConfig cfg;
+  cfg.grid_n = 64;
+  cfg.blocks_x = 4;
+  cfg.blocks_y = 4;
+  cfg.max_real_block = 16;
+  cfg.max_iterations = iters;
+  return cfg;
+}
+
+TEST(IterationDriver, CompletionCallbackFiresOnce) {
+  charm::Runtime rt(pes(2));
+  Jacobi2D app(rt, tiny(5));
+  int completions = 0;
+  app.driver().set_on_complete([&] { ++completions; });
+  app.start();
+  rt.run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(app.driver().finished());
+}
+
+TEST(IterationDriver, HooksFireAtExactIteration) {
+  charm::Runtime rt(pes(2));
+  Jacobi2D app(rt, tiny(8));
+  std::vector<int> fired;
+  app.driver().at_iteration(3, [&](charm::Runtime&) { fired.push_back(3); });
+  app.driver().at_iteration(6, [&](charm::Runtime&) { fired.push_back(6); });
+  app.start();
+  rt.run();
+  EXPECT_EQ(fired, (std::vector<int>{3, 6}));
+}
+
+TEST(IterationDriver, HookFiresOnlyOnce) {
+  // Even when the iteration re-runs after a failure rollback, a hook does
+  // not fire twice.
+  charm::Runtime rt(pes(2));
+  Jacobi2D app(rt, tiny(10));
+  int fired = 0;
+  app.driver().set_disk_checkpoint_period(3);
+  app.driver().at_iteration(4, [&](charm::Runtime& r) {
+    ++fired;
+    r.fail_and_recover();  // rolls back to iteration 3; 4 re-runs
+  });
+  app.start();
+  rt.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(app.driver().finished());
+}
+
+TEST(IterationDriver, EndTimesMonotone) {
+  charm::Runtime rt(pes(2));
+  Jacobi2D app(rt, tiny(10));
+  app.start();
+  rt.run();
+  const auto& times = app.driver().iteration_end_times();
+  ASSERT_EQ(times.size(), 10u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+}
+
+TEST(IterationDriver, RescaleIterationsRecorded) {
+  charm::Runtime rt(pes(4));
+  Jacobi2D app(rt, tiny(10));
+  app.driver().at_iteration(4, [](charm::Runtime& r) { r.ccs().request_rescale(2); });
+  app.start();
+  rt.run();
+  ASSERT_EQ(app.driver().rescale_iterations().size(), 1u);
+  EXPECT_EQ(app.driver().rescale_iterations()[0], 4);
+}
+
+TEST(IterationDriver, LbPeriodPausesButCompletes) {
+  charm::Runtime rt(pes(4));
+  Jacobi2D with_lb(rt, tiny(9));
+  with_lb.driver().set_lb_period(3);
+  with_lb.start();
+  rt.run();
+  EXPECT_TRUE(with_lb.driver().finished());
+
+  charm::Runtime rt2(pes(4));
+  Jacobi2D without(rt2, tiny(9));
+  without.start();
+  rt2.run();
+  EXPECT_GT(rt.now(), rt2.now());  // LB steps cost virtual time
+}
+
+TEST(IterationDriver, RejectsBadArguments) {
+  charm::Runtime rt(pes(2));
+  JacobiConfig cfg = tiny(5);
+  cfg.max_iterations = 5;
+  Jacobi2D app(rt, cfg);
+  EXPECT_THROW(app.driver().at_iteration(2, nullptr), PreconditionError);
+  EXPECT_THROW(app.driver().set_disk_checkpoint_period(-1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ehpc::apps

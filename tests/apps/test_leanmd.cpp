@@ -1,0 +1,176 @@
+#include "apps/leanmd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ehpc::apps {
+namespace {
+
+charm::RuntimeConfig pes(int n) {
+  charm::RuntimeConfig cfg;
+  cfg.num_pes = n;
+  cfg.pes_per_node = 4;
+  return cfg;
+}
+
+LeanMdConfig tiny(int iters = 5) {
+  LeanMdConfig cfg;
+  cfg.cells_x = cfg.cells_y = cfg.cells_z = 2;
+  cfg.atoms_per_cell = 50;
+  cfg.real_atoms_per_cell = 4;
+  cfg.max_iterations = iters;
+  return cfg;
+}
+
+TEST(MdCell, InitialAtomsInsideCellBox) {
+  MdCell cell(8, 6, 7, {2.0, 3.0, 4.0});
+  auto pos = cell.positions();
+  ASSERT_EQ(pos.size(), 24u);
+  for (int a = 0; a < 8; ++a) {
+    EXPECT_GE(pos[3 * a + 0], 2.0);
+    EXPECT_LT(pos[3 * a + 0], 3.0);
+    EXPECT_GE(pos[3 * a + 1], 3.0);
+    EXPECT_LT(pos[3 * a + 1], 4.0);
+    EXPECT_GE(pos[3 * a + 2], 4.0);
+    EXPECT_LT(pos[3 * a + 2], 5.0);
+  }
+}
+
+TEST(MdCell, InteractAccumulatesAndCounts) {
+  MdCell cell(4, 2, 1, {0.0, 0.0, 0.0});
+  MdCell other(4, 2, 2, {1.0, 0.0, 0.0});
+  EXPECT_FALSE(cell.all_received());
+  cell.interact(other.positions());
+  EXPECT_FALSE(cell.all_received());
+  cell.interact(other.positions());
+  EXPECT_TRUE(cell.all_received());
+}
+
+TEST(MdCell, IntegrateAdvancesStateAndResets) {
+  MdCell cell(4, 0, 1, {0.0, 0.0, 0.0});
+  cell.mark_started();
+  ASSERT_TRUE(cell.ready_to_integrate());
+  const double ke = cell.integrate(1e-3);
+  EXPECT_GE(ke, 0.0);
+  EXPECT_EQ(cell.iteration(), 1);
+  EXPECT_FALSE(cell.started());
+}
+
+TEST(MdCell, ForcesMoveAtoms) {
+  MdCell cell(4, 0, 3, {0.0, 0.0, 0.0});
+  auto before = cell.positions();
+  cell.mark_started();
+  cell.integrate(1e-3);
+  auto after = cell.positions();
+  bool any_moved = false;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) any_moved = true;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(MdCell, PupRoundTrip) {
+  MdCell a(4, 3, 11, {1.0, 1.0, 1.0});
+  a.mark_started();
+  std::vector<std::byte> buf;
+  charm::Pup packer = charm::Pup::packer(buf);
+  a.pup(packer);
+  MdCell b(1, 0, 0, {0.0, 0.0, 0.0});
+  charm::Pup unpacker = charm::Pup::unpacker(buf);
+  b.pup(unpacker);
+  EXPECT_EQ(b.num_atoms(), 4);
+  EXPECT_TRUE(b.started());
+  EXPECT_EQ(b.positions(), a.positions());
+}
+
+TEST(LeanMd, RunsToCompletion) {
+  charm::Runtime rt(pes(4));
+  LeanMd app(rt, tiny());
+  app.start();
+  rt.run();
+  EXPECT_TRUE(app.driver().finished());
+  EXPECT_EQ(app.driver().iterations_done(), 5);
+}
+
+TEST(LeanMd, EnergyIsFiniteAndPositive) {
+  charm::Runtime rt(pes(4));
+  LeanMd app(rt, tiny(8));
+  app.start();
+  rt.run();
+  EXPECT_TRUE(std::isfinite(app.energy()));
+  EXPECT_GT(app.energy(), 0.0);  // LJ repulsion injects kinetic energy
+}
+
+TEST(LeanMd, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    charm::Runtime rt(pes(2));
+    LeanMd app(rt, tiny(6));
+    app.start();
+    rt.run();
+    return std::make_pair(app.energy(), rt.now());
+  };
+  auto [e1, t1] = run_once();
+  auto [e2, t2] = run_once();
+  EXPECT_DOUBLE_EQ(e1, e2);
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(LeanMd, EnergyIndependentOfPeCount) {
+  auto energy_with = [](int n_pes) {
+    charm::Runtime rt(pes(n_pes));
+    LeanMd app(rt, tiny(6));
+    app.start();
+    rt.run();
+    return app.energy();
+  };
+  EXPECT_DOUBLE_EQ(energy_with(1), energy_with(4));
+}
+
+TEST(LeanMd, ComputeBoundScalesWell) {
+  auto elapsed_with = [](int n_pes) {
+    charm::RuntimeConfig rc = pes(n_pes);
+    charm::Runtime rt(rc);
+    LeanMdConfig cfg = tiny(6);
+    cfg.cells_x = cfg.cells_y = 4;
+    cfg.cells_z = 4;
+    cfg.atoms_per_cell = 400;
+    LeanMd app(rt, cfg);
+    app.start();
+    rt.run();
+    return rt.now();
+  };
+  const double t2 = elapsed_with(2);
+  const double t8 = elapsed_with(8);
+  // Compute-intensive: near-linear speedup expected, at least 2.5x for 4x PEs.
+  EXPECT_GT(t2 / t8, 2.5);
+}
+
+TEST(LeanMd, SurvivesRescale) {
+  charm::Runtime rt(pes(8));
+  LeanMd app(rt, tiny(10));
+  app.driver().at_iteration(3, [](charm::Runtime& r) { r.ccs().request_rescale(4); });
+  app.start();
+  rt.run();
+  EXPECT_TRUE(app.driver().finished());
+  EXPECT_EQ(rt.num_pes(), 4);
+  EXPECT_TRUE(std::isfinite(app.energy()));
+}
+
+TEST(LeanMd, RescalePreservesNumerics) {
+  auto energy_with_rescale = [](bool rescale) {
+    charm::Runtime rt(pes(8));
+    LeanMd app(rt, tiny(10));
+    if (rescale) {
+      app.driver().at_iteration(3,
+                                [](charm::Runtime& r) { r.ccs().request_rescale(4); });
+    }
+    app.start();
+    rt.run();
+    return app.energy();
+  };
+  EXPECT_DOUBLE_EQ(energy_with_rescale(true), energy_with_rescale(false));
+}
+
+}  // namespace
+}  // namespace ehpc::apps

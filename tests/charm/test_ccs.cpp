@@ -1,0 +1,66 @@
+#include "charm/ccs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ehpc::charm {
+namespace {
+
+TEST(CcsServer, EmptyByDefault) {
+  CcsServer ccs;
+  EXPECT_FALSE(ccs.has_pending());
+  EXPECT_FALSE(ccs.take().has_value());
+  EXPECT_EQ(ccs.commands_received(), 0);
+}
+
+TEST(CcsServer, TakeConsumesCommand) {
+  CcsServer ccs;
+  ccs.request_rescale(8);
+  EXPECT_TRUE(ccs.has_pending());
+  auto cmd = ccs.take();
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->target_pes, 8);
+  EXPECT_FALSE(ccs.has_pending());
+  EXPECT_FALSE(ccs.take().has_value());
+}
+
+TEST(CcsServer, NewerCommandSupersedesTarget) {
+  CcsServer ccs;
+  ccs.request_rescale(8);
+  ccs.request_rescale(4);
+  auto cmd = ccs.take();
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->target_pes, 4);
+  EXPECT_EQ(ccs.commands_received(), 2);
+}
+
+TEST(CcsServer, SupersededAcksAllFire) {
+  CcsServer ccs;
+  int acks = 0;
+  ccs.request_rescale(8, [&](const RescaleTiming&) { ++acks; });
+  ccs.request_rescale(4, [&](const RescaleTiming&) { ++acks; });
+  ccs.request_rescale(2, [&](const RescaleTiming&) { ++acks; });
+  auto cmd = ccs.take();
+  ASSERT_TRUE(cmd.has_value());
+  RescaleTiming t;
+  cmd->on_complete(t);
+  EXPECT_EQ(acks, 3);
+}
+
+TEST(CcsServer, RejectsNonPositiveTarget) {
+  CcsServer ccs;
+  EXPECT_THROW(ccs.request_rescale(0), PreconditionError);
+  EXPECT_THROW(ccs.request_rescale(-3), PreconditionError);
+}
+
+TEST(CcsServer, AckOptional) {
+  CcsServer ccs;
+  ccs.request_rescale(2);
+  auto cmd = ccs.take();
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_FALSE(static_cast<bool>(cmd->on_complete));
+}
+
+}  // namespace
+}  // namespace ehpc::charm

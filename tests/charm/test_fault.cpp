@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "apps/jacobi2d.hpp"
+#include "charm/runtime.hpp"
+
+namespace ehpc::charm {
+namespace {
+
+apps::JacobiConfig small_jacobi(int iters) {
+  apps::JacobiConfig cfg;
+  cfg.grid_n = 256;
+  cfg.blocks_x = 4;
+  cfg.blocks_y = 4;
+  cfg.max_real_block = 32;
+  cfg.max_iterations = iters;
+  return cfg;
+}
+
+RuntimeConfig pes(int n) {
+  RuntimeConfig cfg;
+  cfg.num_pes = n;
+  cfg.pes_per_node = 4;
+  return cfg;
+}
+
+TEST(FaultTolerance, DiskCheckpointsTakenPeriodically) {
+  Runtime rt(pes(4));
+  apps::Jacobi2D app(rt, small_jacobi(12));
+  app.driver().set_disk_checkpoint_period(4);
+  app.start();
+  rt.run();
+  EXPECT_TRUE(app.driver().finished());
+  // Checkpoints after iterations 4 and 8 (12 ends the run before another).
+  EXPECT_EQ(rt.disk_checkpoints_taken(), 2);
+  EXPECT_TRUE(rt.has_disk_checkpoint());
+}
+
+TEST(FaultTolerance, DiskCheckpointAddsDowntime) {
+  auto elapsed = [](int period) {
+    Runtime rt(pes(4));
+    apps::Jacobi2D app(rt, small_jacobi(12));
+    app.driver().set_disk_checkpoint_period(period);
+    app.start();
+    rt.run();
+    return rt.now();
+  };
+  EXPECT_GT(elapsed(4), elapsed(0));
+}
+
+TEST(FaultTolerance, RecoveryPreservesNumerics) {
+  auto final_residual = [](bool fail) {
+    Runtime rt(pes(4));
+    apps::Jacobi2D app(rt, small_jacobi(12));
+    app.driver().set_disk_checkpoint_period(4);
+    if (fail) {
+      app.driver().at_iteration(10, [](Runtime& r) { r.fail_and_recover(); });
+    }
+    app.start();
+    rt.run();
+    EXPECT_TRUE(app.driver().finished());
+    return app.residual();
+  };
+  EXPECT_DOUBLE_EQ(final_residual(true), final_residual(false));
+}
+
+TEST(FaultTolerance, RecoveryRollsBackToCheckpoint) {
+  Runtime rt(pes(4));
+  apps::Jacobi2D app(rt, small_jacobi(12));
+  app.driver().set_disk_checkpoint_period(4);
+  app.driver().at_iteration(10, [](Runtime& r) { r.fail_and_recover(); });
+  app.start();
+  rt.run();
+  EXPECT_TRUE(app.driver().finished());
+  EXPECT_EQ(rt.recoveries(), 1);
+  // Iterations 9..10 re-executed after rolling back to iteration 8: the
+  // reduction fires more times than the iteration count.
+  EXPECT_GT(app.driver().iteration_end_times().size(), 12u);
+}
+
+TEST(FaultTolerance, RecoveryChargesDowntime) {
+  auto elapsed = [](bool fail) {
+    Runtime rt(pes(4));
+    apps::Jacobi2D app(rt, small_jacobi(12));
+    app.driver().set_disk_checkpoint_period(4);
+    if (fail) {
+      app.driver().at_iteration(10, [](Runtime& r) { r.fail_and_recover(); });
+    }
+    app.start();
+    rt.run();
+    return rt.now();
+  };
+  const double with = elapsed(true);
+  const double without = elapsed(false);
+  // At least the failure-detection delay plus restart must be added.
+  EXPECT_GT(with, without + 5.0);
+}
+
+TEST(FaultTolerance, FailureWithoutCheckpointThrows) {
+  Runtime rt(pes(4));
+  apps::Jacobi2D app(rt, small_jacobi(6));
+  app.driver().at_iteration(2, [](Runtime& r) {
+    EXPECT_THROW(r.fail_and_recover(), PreconditionError);
+  });
+  app.start();
+  rt.run();
+  EXPECT_TRUE(app.driver().finished());
+}
+
+TEST(FaultTolerance, RecoveryAfterRescaleUsesCheckpointPeCount) {
+  Runtime rt(pes(8));
+  apps::Jacobi2D app(rt, small_jacobi(14));
+  app.driver().set_disk_checkpoint_period(4);
+  // Checkpoint at 4 and 8 (at 8 PEs), shrink at 9, fail at 12: recovery
+  // restores the PE count in force at the last checkpoint (8).
+  app.driver().at_iteration(9, [](Runtime& r) { r.ccs().request_rescale(4); });
+  app.driver().at_iteration(12, [](Runtime& r) { r.fail_and_recover(); });
+  app.start();
+  rt.run();
+  EXPECT_TRUE(app.driver().finished());
+  EXPECT_EQ(rt.num_pes(), 8);
+  EXPECT_EQ(rt.recoveries(), 1);
+}
+
+TEST(FaultTolerance, DiskSlowerThanSharedMemory) {
+  // The disk checkpoint of the same state must cost more virtual time than
+  // the in-memory rescale checkpoint stage.
+  RuntimeConfig cfg = pes(4);
+  EXPECT_LT(cfg.disk_bandwidth_Bps, cfg.shm_bandwidth_Bps);
+}
+
+}  // namespace
+}  // namespace ehpc::charm

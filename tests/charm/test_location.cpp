@@ -1,0 +1,71 @@
+#include "charm/location.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ehpc::charm {
+namespace {
+
+TEST(LocationManager, RoundRobinInitialMapping) {
+  LocationManager loc;
+  ArrayId a = loc.add_array(10, 4);
+  for (ElementId e = 0; e < 10; ++e) {
+    EXPECT_EQ(loc.pe_of(a, e), e % 4);
+  }
+  EXPECT_EQ(loc.num_elements(a), 10);
+}
+
+TEST(LocationManager, SetPeUpdatesLookup) {
+  LocationManager loc;
+  ArrayId a = loc.add_array(4, 2);
+  loc.set_pe(a, 3, 0);
+  EXPECT_EQ(loc.pe_of(a, 3), 0);
+}
+
+TEST(LocationManager, ElementsOnCollectsCorrectly) {
+  LocationManager loc;
+  ArrayId a = loc.add_array(6, 3);
+  EXPECT_EQ(loc.elements_on(a, 0), (std::vector<ElementId>{0, 3}));
+  EXPECT_EQ(loc.elements_on(a, 2), (std::vector<ElementId>{2, 5}));
+  EXPECT_TRUE(loc.elements_on(a, 9).empty());
+}
+
+TEST(LocationManager, MultipleArraysIndependent) {
+  LocationManager loc;
+  ArrayId a = loc.add_array(4, 2);
+  ArrayId b = loc.add_array(4, 4);
+  loc.set_pe(a, 0, 1);
+  EXPECT_EQ(loc.pe_of(a, 0), 1);
+  EXPECT_EQ(loc.pe_of(b, 0), 0);
+  EXPECT_EQ(loc.num_arrays(), 2);
+}
+
+TEST(LocationManager, RemapReplacesWholeMapping) {
+  LocationManager loc;
+  ArrayId a = loc.add_array(3, 3);
+  loc.remap(a, {2, 2, 2});
+  for (ElementId e = 0; e < 3; ++e) EXPECT_EQ(loc.pe_of(a, e), 2);
+}
+
+TEST(LocationManager, RemapRejectsWrongSize) {
+  LocationManager loc;
+  ArrayId a = loc.add_array(3, 3);
+  EXPECT_THROW(loc.remap(a, {0, 1}), PreconditionError);
+}
+
+TEST(LocationManager, BoundsChecking) {
+  LocationManager loc;
+  ArrayId a = loc.add_array(3, 2);
+  EXPECT_THROW(loc.pe_of(a, 3), PreconditionError);
+  EXPECT_THROW(loc.pe_of(a, -1), PreconditionError);
+  EXPECT_THROW(loc.pe_of(a + 1, 0), PreconditionError);
+  EXPECT_THROW(loc.set_pe(a, 0, -2), PreconditionError);
+}
+
+TEST(LocationManager, RejectsEmptyArray) {
+  LocationManager loc;
+  EXPECT_THROW(loc.add_array(0, 2), PreconditionError);
+  EXPECT_THROW(loc.add_array(2, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ehpc::charm

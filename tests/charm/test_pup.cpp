@@ -1,0 +1,119 @@
+#include "charm/pup.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ehpc::charm {
+namespace {
+
+struct Sample final : Chare {
+  int i = 0;
+  double d = 0.0;
+  std::string name;
+  std::vector<double> values;
+  std::vector<std::string> tags;
+
+  void pup(Pup& p) override {
+    p | i;
+    p | d;
+    p | name;
+    p | values;
+    p | tags;
+  }
+};
+
+TEST(Pup, RoundTripPreservesState) {
+  Sample a;
+  a.i = 42;
+  a.d = 3.14;
+  a.name = "hello world";
+  a.values = {1.0, 2.0, 3.0};
+  a.tags = {"x", "longer string"};
+
+  std::vector<std::byte> buf;
+  Pup packer = Pup::packer(buf);
+  a.pup(packer);
+
+  Sample b;
+  Pup unpacker = Pup::unpacker(buf);
+  b.pup(unpacker);
+
+  EXPECT_EQ(b.i, 42);
+  EXPECT_DOUBLE_EQ(b.d, 3.14);
+  EXPECT_EQ(b.name, "hello world");
+  EXPECT_EQ(b.values, a.values);
+  EXPECT_EQ(b.tags, a.tags);
+}
+
+TEST(Pup, SizingMatchesPacking) {
+  Sample a;
+  a.values.assign(100, 1.5);
+  a.name = "abc";
+
+  Pup sizer = Pup::sizer();
+  a.pup(sizer);
+
+  std::vector<std::byte> buf;
+  Pup packer = Pup::packer(buf);
+  a.pup(packer);
+
+  EXPECT_EQ(sizer.size(), buf.size());
+  EXPECT_EQ(packer.size(), buf.size());
+}
+
+TEST(Pup, EmptyContainersRoundTrip) {
+  Sample a;  // all containers empty
+  std::vector<std::byte> buf;
+  Pup packer = Pup::packer(buf);
+  a.pup(packer);
+
+  Sample b;
+  b.values = {9.0};  // must be cleared by unpack
+  Pup unpacker = Pup::unpacker(buf);
+  b.pup(unpacker);
+  EXPECT_TRUE(b.values.empty());
+  EXPECT_TRUE(b.name.empty());
+}
+
+TEST(Pup, UnpackBeyondBufferThrows) {
+  std::vector<std::byte> buf(4);
+  Pup p = Pup::unpacker(buf);
+  double d = 0.0;
+  EXPECT_THROW(p | d, PreconditionError);  // needs 8 bytes
+}
+
+TEST(Pup, ChareSizeHelper) {
+  Sample a;
+  a.values.assign(10, 0.0);
+  // 3 size_t prefixes + int + double + 10 doubles.
+  EXPECT_EQ(a.pup_size(),
+            3 * sizeof(std::size_t) + sizeof(int) + sizeof(double) +
+                10 * sizeof(double));
+}
+
+TEST(Pup, ModesReportCorrectly) {
+  std::vector<std::byte> buf;
+  EXPECT_TRUE(Pup::sizer().sizing());
+  EXPECT_TRUE(Pup::packer(buf).packing());
+  EXPECT_TRUE(Pup::unpacker(buf).unpacking());
+}
+
+TEST(Pup, DoubleRoundTripIdentical) {
+  // Repeated pack/unpack cycles are lossless.
+  Sample a;
+  a.d = 1.0 / 3.0;
+  a.values = {1e-300, 1e300, -0.0};
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    std::vector<std::byte> buf;
+    Pup packer = Pup::packer(buf);
+    a.pup(packer);
+    Sample b;
+    Pup unpacker = Pup::unpacker(buf);
+    b.pup(unpacker);
+    a = b;
+  }
+  EXPECT_DOUBLE_EQ(a.d, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(a.values[1], 1e300);
+}
+
+}  // namespace
+}  // namespace ehpc::charm

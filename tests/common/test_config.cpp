@@ -1,0 +1,67 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ehpc {
+namespace {
+
+Config parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Config::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Config, ParsesKeyValues) {
+  Config c = parse({"repeats=20", "seed=7"});
+  EXPECT_EQ(c.get_int("repeats", 0), 20);
+  EXPECT_EQ(c.get_int("seed", 0), 7);
+}
+
+TEST(Config, PositionalArgsCollected) {
+  Config c = parse({"elastic", "gap=90", "run"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "elastic");
+  EXPECT_EQ(c.positional()[1], "run");
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  Config c = parse({});
+  EXPECT_EQ(c.get_int("x", 42), 42);
+  EXPECT_DOUBLE_EQ(c.get_double("y", 1.5), 1.5);
+  EXPECT_EQ(c.get_or("z", "dflt"), "dflt");
+  EXPECT_TRUE(c.get_bool("flag", true));
+  EXPECT_FALSE(c.get("missing").has_value());
+}
+
+TEST(Config, BoolParsing) {
+  Config c = parse({"a=true", "b=0", "c=YES", "d=off"});
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_FALSE(c.get_bool("b", true));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+}
+
+TEST(Config, DoubleParsing) {
+  Config c = parse({"rate=2.5"});
+  EXPECT_DOUBLE_EQ(c.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Config, LastValueWins) {
+  Config c = parse({"k=1", "k=2"});
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+TEST(Config, SetOverrides) {
+  Config c = parse({"k=1"});
+  c.set("k", "9");
+  EXPECT_EQ(c.get_int("k", 0), 9);
+  EXPECT_TRUE(c.has("k"));
+}
+
+TEST(Config, ValueWithEqualsSign) {
+  Config c = parse({"expr=a=b"});
+  EXPECT_EQ(c.get_or("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace ehpc

@@ -1,0 +1,86 @@
+#include "common/piecewise_linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ehpc {
+namespace {
+
+TEST(PiecewiseLinear, ExactAtBreakpoints) {
+  PiecewiseLinear f({{1.0, 10.0}, {2.0, 20.0}, {4.0, 10.0}});
+  EXPECT_DOUBLE_EQ(f.at(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.at(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(f.at(4.0), 10.0);
+}
+
+TEST(PiecewiseLinear, InterpolatesBetween) {
+  PiecewiseLinear f({{0.0, 0.0}, {10.0, 100.0}});
+  EXPECT_DOUBLE_EQ(f.at(2.5), 25.0);
+  EXPECT_DOUBLE_EQ(f.at(7.5), 75.0);
+}
+
+TEST(PiecewiseLinear, ExtrapolatesLinearly) {
+  PiecewiseLinear f({{1.0, 1.0}, {2.0, 2.0}});
+  EXPECT_DOUBLE_EQ(f.at(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(f.at(0.0), 0.0);
+}
+
+TEST(PiecewiseLinear, ClampedStopsAtBoundary) {
+  PiecewiseLinear f({{1.0, 1.0}, {2.0, 2.0}});
+  EXPECT_DOUBLE_EQ(f.at_clamped(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.at_clamped(-10.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.at_clamped(1.5), 1.5);
+}
+
+TEST(PiecewiseLinear, SinglePointIsConstant) {
+  PiecewiseLinear f({{3.0, 7.0}});
+  EXPECT_DOUBLE_EQ(f.at(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(f.at(100.0), 7.0);
+}
+
+TEST(PiecewiseLinear, SortsUnorderedInput) {
+  PiecewiseLinear f({{2.0, 20.0}, {1.0, 10.0}});
+  EXPECT_DOUBLE_EQ(f.at(1.5), 15.0);
+}
+
+TEST(PiecewiseLinear, RejectsDuplicateX) {
+  EXPECT_THROW(PiecewiseLinear({{1.0, 1.0}, {1.0, 2.0}}), PreconditionError);
+}
+
+TEST(PiecewiseLinear, RejectsEmpty) {
+  EXPECT_THROW(PiecewiseLinear(std::vector<std::pair<double, double>>{}),
+               PreconditionError);
+}
+
+TEST(PiecewiseLinear, LogLogReproducesPowerLaw) {
+  // y = 16/x sampled at x = 1 and 16; log-log interpolation must recover the
+  // power law exactly at intermediate points.
+  PiecewiseLinear f({{1.0, 16.0}, {16.0, 1.0}});
+  EXPECT_NEAR(f.at_loglog(4.0), 4.0, 1e-12);
+  EXPECT_NEAR(f.at_loglog(2.0), 8.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, LogLogRejectsNonPositive) {
+  PiecewiseLinear f({{1.0, 1.0}, {2.0, 2.0}});
+  EXPECT_THROW(f.at_loglog(0.0), PreconditionError);
+}
+
+// Property sweep: interpolation is monotone within a monotone segment and
+// bounded by segment endpoints.
+class PiecewiseProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PiecewiseProperty, BoundedBySegmentEndpoints) {
+  PiecewiseLinear f({{0.0, 3.0}, {1.0, 9.0}, {2.0, 5.0}, {5.0, 6.0}});
+  const double x = GetParam();
+  const double y = f.at(x);
+  EXPECT_GE(y, 3.0 - 1e-12);
+  EXPECT_LE(y, 9.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(InsideDomain, PiecewiseProperty,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0,
+                                           2.5, 3.0, 4.0, 4.99, 5.0));
+
+}  // namespace
+}  // namespace ehpc

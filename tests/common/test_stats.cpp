@@ -1,0 +1,139 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ehpc {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 3.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(WeightedMean, MatchesHandComputation) {
+  WeightedMean wm;
+  wm.add(10.0, 1.0);
+  wm.add(20.0, 3.0);
+  EXPECT_DOUBLE_EQ(wm.value(), (10.0 + 60.0) / 4.0);
+  EXPECT_DOUBLE_EQ(wm.total_weight(), 4.0);
+}
+
+TEST(WeightedMean, ZeroWeightSamplesIgnoredInValue) {
+  WeightedMean wm;
+  wm.add(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(wm.value(), 0.0);
+  wm.add(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(wm.value(), 10.0);
+}
+
+TEST(WeightedMean, NegativeWeightThrows) {
+  WeightedMean wm;
+  EXPECT_THROW(wm.add(1.0, -0.5), PreconditionError);
+}
+
+TEST(WeightedMean, MergeCombines) {
+  WeightedMean a, b;
+  a.add(1.0, 1.0);
+  b.add(3.0, 1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), 2.0);
+}
+
+TEST(Percentile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStats) {
+  // Sorted: 0, 10. p75 = 7.5.
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.75), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({4.2}, 0.9), 4.2);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 0.5), PreconditionError);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+}
+
+TEST(TimeWeightedAverage, ConstantFunction) {
+  EXPECT_DOUBLE_EQ(time_weighted_average({{0.0, 5.0}}, 10.0), 5.0);
+}
+
+TEST(TimeWeightedAverage, StepFunction) {
+  // 1.0 on [0,2), 3.0 on [2,4): average = (2*1 + 2*3)/4 = 2.
+  EXPECT_DOUBLE_EQ(time_weighted_average({{0.0, 1.0}, {2.0, 3.0}}, 4.0), 2.0);
+}
+
+TEST(TimeWeightedAverage, UnevenSegments) {
+  // 0 on [0,9), 10 on [9,10): average = 1.
+  EXPECT_DOUBLE_EQ(time_weighted_average({{0.0, 0.0}, {9.0, 10.0}}, 10.0), 1.0);
+}
+
+TEST(TimeWeightedAverage, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(time_weighted_average({}, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ehpc

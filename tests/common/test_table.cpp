@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ehpc {
+namespace {
+
+TEST(Table, RejectsWrongCellCount) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), PreconditionError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), PreconditionError);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripSimple) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, MarkdownHasSeparatorRow) {
+  Table t({"col"});
+  t.add_row({"v"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| col |"), std::string::npos);
+  EXPECT_NE(md.find("|---|"), std::string::npos);
+  EXPECT_NE(md.find("| v |"), std::string::npos);
+}
+
+TEST(Table, TextAlignsColumns) {
+  Table t({"long_header", "b"});
+  t.add_row({"x", "y"});
+  const std::string text = t.to_text();
+  // Row cell "x" must be padded to the header width.
+  EXPECT_NE(text.find("x          "), std::string::npos);
+}
+
+TEST(Table, AddRowValuesFormats) {
+  Table t({"a", "b"});
+  t.add_row_values({1.5, 2.0});
+  EXPECT_EQ(t.row(0)[0], "1.5");
+  EXPECT_EQ(t.row(0)[1], "2");
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(1.5000, 4), "1.5");
+  EXPECT_EQ(format_double(2.0, 3), "2");
+  EXPECT_EQ(format_double(0.042, 3), "0.042");
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.23456, 4), "1.2346");
+}
+
+}  // namespace
+}  // namespace ehpc

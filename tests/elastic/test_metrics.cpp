@@ -1,0 +1,85 @@
+#include "elastic/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ehpc::elastic {
+namespace {
+
+JobRecord rec(JobId id, int prio, double submit, double start, double complete) {
+  JobRecord r;
+  r.id = id;
+  r.priority = prio;
+  r.submit_time = submit;
+  r.start_time = start;
+  r.complete_time = complete;
+  return r;
+}
+
+TEST(JobRecord, DerivedTimes) {
+  const JobRecord r = rec(0, 1, 10.0, 25.0, 100.0);
+  EXPECT_DOUBLE_EQ(r.response_time(), 15.0);
+  EXPECT_DOUBLE_EQ(r.completion_time(), 90.0);
+}
+
+TEST(MetricsCollector, TotalTimeSpansSubmitToLastComplete) {
+  MetricsCollector mc(64);
+  mc.add_job(rec(0, 1, 0.0, 0.0, 50.0));
+  mc.add_job(rec(1, 1, 10.0, 20.0, 200.0));
+  const RunMetrics m = mc.compute();
+  EXPECT_DOUBLE_EQ(m.total_time_s, 200.0);
+}
+
+TEST(MetricsCollector, WeightedMeansUsePriority) {
+  MetricsCollector mc(64);
+  // Response times 10 (prio 1) and 40 (prio 3): weighted mean 32.5.
+  mc.add_job(rec(0, 1, 0.0, 10.0, 100.0));
+  mc.add_job(rec(1, 3, 0.0, 40.0, 100.0));
+  const RunMetrics m = mc.compute();
+  EXPECT_DOUBLE_EQ(m.weighted_response_s, (10.0 * 1 + 40.0 * 3) / 4.0);
+  EXPECT_DOUBLE_EQ(m.weighted_completion_s, 100.0);
+}
+
+TEST(MetricsCollector, UtilizationFromStepTrace) {
+  MetricsCollector mc(64);
+  mc.add_job(rec(0, 1, 0.0, 0.0, 100.0));
+  mc.record_usage(0.0, 64);   // full for the first half
+  mc.record_usage(50.0, 0);   // idle for the second half
+  const RunMetrics m = mc.compute();
+  EXPECT_NEAR(m.utilization, 0.5, 1e-12);
+}
+
+TEST(MetricsCollector, UtilizationClampedToWindow) {
+  MetricsCollector mc(64);
+  mc.add_job(rec(0, 1, 100.0, 100.0, 200.0));
+  mc.record_usage(0.0, 0);     // before the window: sets the initial level
+  mc.record_usage(100.0, 32);  // half-busy throughout the window
+  const RunMetrics m = mc.compute();
+  EXPECT_NEAR(m.utilization, 0.5, 1e-12);
+}
+
+TEST(MetricsCollector, RejectsInvalidInput) {
+  MetricsCollector mc(64);
+  EXPECT_THROW(mc.add_job(rec(0, 1, 10.0, 5.0, 20.0)), PreconditionError);
+  EXPECT_THROW(mc.record_usage(0.0, 65), PreconditionError);
+  EXPECT_THROW(mc.record_usage(0.0, -1), PreconditionError);
+  EXPECT_THROW(mc.compute(), PreconditionError);  // no jobs
+}
+
+TEST(AverageMetrics, ComponentwiseMean) {
+  RunMetrics a{100.0, 0.8, 10.0, 50.0};
+  RunMetrics b{200.0, 0.6, 30.0, 70.0};
+  const RunMetrics avg = average_metrics({a, b});
+  EXPECT_DOUBLE_EQ(avg.total_time_s, 150.0);
+  EXPECT_DOUBLE_EQ(avg.utilization, 0.7);
+  EXPECT_DOUBLE_EQ(avg.weighted_response_s, 20.0);
+  EXPECT_DOUBLE_EQ(avg.weighted_completion_s, 60.0);
+}
+
+TEST(AverageMetrics, EmptyThrows) {
+  EXPECT_THROW(average_metrics({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ehpc::elastic

@@ -1,0 +1,447 @@
+#include "elastic/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ehpc::elastic {
+namespace {
+
+JobSpec spec(JobId id, int min_r, int max_r, int priority) {
+  JobSpec s;
+  s.id = id;
+  s.name = "job-" + std::to_string(id);
+  s.min_replicas = min_r;
+  s.max_replicas = max_r;
+  s.priority = priority;
+  return s;
+}
+
+PolicyConfig elastic_cfg(double gap = 0.0) {
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kElastic;
+  cfg.rescale_gap_s = gap;
+  return cfg;
+}
+
+// Pull the single action of a given type out of an action list.
+const Action* find_action(const std::vector<Action>& actions, ActionType type) {
+  for (const auto& a : actions) {
+    if (a.type == type) return &a;
+  }
+  return nullptr;
+}
+
+TEST(PolicyEngine, EmptyClusterStartsAtMax) {
+  PolicyEngine eng(64, elastic_cfg());
+  auto actions = eng.submit(spec(0, 8, 32, 3), 0.0);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].type, ActionType::kStart);
+  EXPECT_EQ(actions[0].target_replicas, 32);
+  EXPECT_EQ(eng.free_slots(), 32);
+  EXPECT_TRUE(eng.job(0).running);
+}
+
+TEST(PolicyEngine, MoldableSizingFillsGap) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 8, 48, 3), 0.0);  // uses 48, 16 free
+  auto actions = eng.submit(spec(1, 8, 32, 3), 1.0);
+  const Action* start = find_action(actions, ActionType::kStart);
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(start->target_replicas, 16);  // sized to the gap, not enqueued
+  EXPECT_EQ(eng.free_slots(), 0);
+}
+
+TEST(PolicyEngine, ReserveSlotsHoldsHeadroom) {
+  PolicyConfig cfg = elastic_cfg();
+  cfg.reserve_slots = 1;  // the paper's "freeSlots - 1"
+  PolicyEngine eng(64, cfg);
+  auto actions = eng.submit(spec(0, 8, 64, 3), 0.0);
+  const Action* start = find_action(actions, ActionType::kStart);
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(start->target_replicas, 63);
+}
+
+TEST(PolicyEngine, EnqueuesWhenNothingShrinkable) {
+  PolicyEngine eng(64, elastic_cfg());
+  // One job at its min occupying everything: nothing can shrink.
+  eng.submit(spec(0, 64, 64, 3), 0.0);
+  auto actions = eng.submit(spec(1, 8, 16, 5), 1.0);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].type, ActionType::kEnqueue);
+  EXPECT_FALSE(eng.job(1).running);
+  EXPECT_EQ(eng.queued().size(), 1u);
+}
+
+TEST(PolicyEngine, ShrinksLowerPriorityToFitHigherPriority) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 8, 32, 1), 0.0);   // low priority, 32 replicas
+  eng.submit(spec(1, 8, 32, 1), 1.0);   // low priority, 32 replicas
+  EXPECT_EQ(eng.free_slots(), 0);
+
+  auto actions = eng.submit(spec(2, 16, 32, 5), 2.0);
+  const Action* shrink = find_action(actions, ActionType::kShrink);
+  const Action* start = find_action(actions, ActionType::kStart);
+  ASSERT_NE(shrink, nullptr);
+  ASSERT_NE(start, nullptr);
+  // Fig. 2 protects runningJobs[0] (job 0, the earlier submission): only
+  // job 1 is shrunk, down to its min, freeing 24 slots.
+  EXPECT_EQ(shrink->job, 1);
+  EXPECT_EQ(eng.job(1).replicas, 8);
+  EXPECT_EQ(start->target_replicas, 24);
+  EXPECT_TRUE(eng.job(2).running);
+}
+
+TEST(PolicyEngine, NeverShrinksHigherPriorityJobs) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 8, 32, 5), 0.0);
+  eng.submit(spec(1, 8, 32, 5), 1.0);
+  // Low-priority arrival cannot evict high-priority jobs.
+  auto actions = eng.submit(spec(2, 16, 32, 1), 2.0);
+  EXPECT_EQ(find_action(actions, ActionType::kShrink), nullptr);
+  EXPECT_EQ(actions.back().type, ActionType::kEnqueue);
+}
+
+TEST(PolicyEngine, RescaleGapBlocksShrink) {
+  PolicyEngine eng(64, elastic_cfg(/*gap=*/180.0));
+  eng.submit(spec(0, 8, 32, 1), 0.0);
+  eng.submit(spec(1, 8, 32, 1), 10.0);
+  // 20s after job 1's start: the victim is within the gap.
+  auto actions = eng.submit(spec(2, 16, 32, 5), 30.0);
+  EXPECT_EQ(find_action(actions, ActionType::kShrink), nullptr);
+  EXPECT_EQ(actions.back().type, ActionType::kEnqueue);
+
+  // Well past the gap, the shrink goes through.
+  auto later = eng.submit(spec(3, 16, 32, 5), 500.0);
+  EXPECT_NE(find_action(later, ActionType::kShrink), nullptr);
+  EXPECT_NE(find_action(later, ActionType::kStart), nullptr);
+}
+
+TEST(PolicyEngine, NeverShrinksBelowMin) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 16, 32, 1), 0.0);  // min 16, runs at 32
+  eng.submit(spec(1, 16, 32, 1), 1.0);  // min 16, runs at 32
+  // Needs 48: even shrinking job 1 fully (to 16) frees only 16 -> enqueue.
+  auto actions = eng.submit(spec(2, 48, 64, 5), 2.0);
+  EXPECT_EQ(actions.back().type, ActionType::kEnqueue);
+  // Needs 16: shrinking job 1 to its min exactly suffices; never below min.
+  auto ok = eng.submit(spec(3, 16, 16, 5), 3.0);
+  EXPECT_NE(find_action(ok, ActionType::kStart), nullptr);
+  EXPECT_EQ(eng.job(1).replicas, 16);
+  EXPECT_GE(eng.job(1).replicas, eng.job(1).spec.min_replicas);
+}
+
+TEST(PolicyEngine, ShrinkFreesUpToMaxOfNewJob) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 8, 32, 1), 0.0);
+  eng.submit(spec(1, 8, 32, 1), 1.0);
+  auto actions = eng.submit(spec(2, 8, 16, 5), 2.0);
+  const Action* shrink = find_action(actions, ActionType::kShrink);
+  const Action* start = find_action(actions, ActionType::kStart);
+  ASSERT_NE(shrink, nullptr);
+  ASSERT_NE(start, nullptr);
+  // Victim (job 1) shrinks enough for the new job's max (16), not just its
+  // min (8): 32 -> 16.
+  EXPECT_EQ(start->target_replicas, 16);
+  EXPECT_EQ(eng.job(1).replicas, 16);
+}
+
+TEST(PolicyEngine, TopPriorityRunningJobNeverConsidered) {
+  // The pseudocode walks index > 0: the single highest-priority running job
+  // is never shrunk, even when eligible by priority.
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 8, 64, 1), 0.0);  // only running job -> index 0
+  auto actions = eng.submit(spec(1, 16, 32, 5), 1.0);
+  EXPECT_EQ(find_action(actions, ActionType::kShrink), nullptr);
+  EXPECT_EQ(actions.back().type, ActionType::kEnqueue);
+}
+
+TEST(PolicyEngine, EqualPriorityVictimEligible) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 8, 32, 3), 0.0);
+  eng.submit(spec(1, 8, 32, 3), 1.0);
+  auto actions = eng.submit(spec(2, 16, 32, 3), 2.0);
+  // Equal priority: Fig. 2 breaks only on strictly greater priority.
+  EXPECT_NE(find_action(actions, ActionType::kShrink), nullptr);
+  EXPECT_TRUE(eng.job(2).running);
+}
+
+TEST(PolicyEngine, CompleteExpandsRunningJobsElastic) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 32, 32, 5), 0.0);  // rigid-shaped: 32 used
+  eng.submit(spec(1, 8, 64, 3), 1.0);   // sized to the 32-slot gap: below max
+  EXPECT_EQ(eng.job(1).replicas, 32);
+  auto actions = eng.complete(0, 100.0);
+  const Action* expand = find_action(actions, ActionType::kExpand);
+  ASSERT_NE(expand, nullptr);
+  EXPECT_EQ(expand->job, 1);
+  EXPECT_EQ(eng.job(1).replicas, 64);  // freed slots flow to the running job
+  EXPECT_EQ(eng.free_slots() + eng.used_slots(), 64);
+}
+
+TEST(PolicyEngine, CompleteStartsQueuedJobsInPriorityOrder) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 64, 64, 5), 0.0);  // fills cluster, min=max
+  eng.submit(spec(1, 16, 16, 2), 1.0);  // queued
+  eng.submit(spec(2, 16, 16, 4), 2.0);  // queued, higher priority
+  eng.submit(spec(3, 16, 16, 3), 3.0);  // queued
+  auto actions = eng.complete(0, 100.0);
+  // All three fit (48 <= 64); starts must come in priority order 2, 3, 1.
+  std::vector<JobId> started;
+  for (const auto& a : actions) {
+    if (a.type == ActionType::kStart) started.push_back(a.job);
+  }
+  EXPECT_EQ(started, (std::vector<JobId>{2, 3, 1}));
+}
+
+TEST(PolicyEngine, CompleteMoldableDoesNotTouchRunningJobs) {
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kMoldable;
+  cfg.rescale_gap_s = 0.0;
+  PolicyEngine eng(64, cfg);
+  eng.submit(spec(0, 8, 64, 3), 0.0);    // starts at 64
+  eng.submit(spec(1, 8, 32, 3), 1.0);    // queued (no shrink in moldable)
+  EXPECT_FALSE(eng.job(1).running);
+  // Make room: complete nothing yet; shrink impossible. Add a second
+  // running job by completing job 0.
+  auto actions = eng.complete(0, 2.0);
+  const Action* start = find_action(actions, ActionType::kStart);
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(start->job, 1);
+  EXPECT_EQ(find_action(actions, ActionType::kExpand), nullptr);
+}
+
+TEST(PolicyEngine, RigidMinForcesMinReplicas) {
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kRigidMin;
+  PolicyEngine eng(64, cfg);
+  auto actions = eng.submit(spec(0, 8, 32, 3), 0.0);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].target_replicas, 8);
+  // Completion never expands a rigid job.
+  eng.submit(spec(1, 8, 32, 3), 1.0);
+  auto done = eng.complete(0, 100.0);
+  EXPECT_EQ(find_action(done, ActionType::kExpand), nullptr);
+  EXPECT_EQ(eng.job(1).replicas, 8);
+}
+
+TEST(PolicyEngine, RigidMaxForcesMaxReplicas) {
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kRigidMax;
+  PolicyEngine eng(64, cfg);
+  auto actions = eng.submit(spec(0, 8, 32, 3), 0.0);
+  EXPECT_EQ(actions[0].target_replicas, 32);
+  // A job that no longer fits waits even if min would fit.
+  eng.submit(spec(1, 8, 48, 3), 1.0);
+  EXPECT_FALSE(eng.job(1).running);
+}
+
+TEST(PolicyEngine, QueuedJobNotStartedBelowMin) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 48, 48, 5), 0.0);  // 48 used, 16 free
+  eng.submit(spec(1, 32, 64, 1), 1.0);  // needs >= 32: queued
+  EXPECT_FALSE(eng.job(1).running);
+  // Completing a tiny job frees 48: now job 1 can start.
+  auto actions = eng.complete(0, 100.0);
+  const Action* start = find_action(actions, ActionType::kStart);
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(start->job, 1);
+  EXPECT_EQ(start->target_replicas, 64);
+}
+
+TEST(PolicyEngine, SubmissionTimeBreaksPriorityTies) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 64, 64, 3), 0.0);
+  eng.submit(spec(1, 32, 32, 3), 2.0);  // queued, later
+  eng.submit(spec(2, 32, 32, 3), 1.0);  // queued, earlier
+  auto actions = eng.complete(0, 100.0);
+  std::vector<JobId> started;
+  for (const auto& a : actions) {
+    if (a.type == ActionType::kStart) started.push_back(a.job);
+  }
+  // Earlier submission (job 2) wins the tie.
+  EXPECT_EQ(started, (std::vector<JobId>{2, 1}));
+}
+
+TEST(PolicyEngine, RejectsInvalidSpecs) {
+  PolicyEngine eng(64, elastic_cfg());
+  EXPECT_THROW(eng.submit(spec(0, 0, 4, 1), 0.0), PreconditionError);
+  EXPECT_THROW(eng.submit(spec(1, 8, 4, 1), 0.0), PreconditionError);
+  EXPECT_THROW(eng.submit(spec(2, 128, 256, 1), 0.0), PreconditionError);
+}
+
+TEST(PolicyEngine, RejectsDuplicateAndUnknownIds) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 4, 8, 1), 0.0);
+  EXPECT_THROW(eng.submit(spec(0, 4, 8, 1), 1.0), PreconditionError);
+  EXPECT_THROW(eng.complete(99, 2.0), PreconditionError);
+}
+
+TEST(PolicyEngine, ModeNames) {
+  EXPECT_EQ(to_string(PolicyMode::kElastic), "elastic");
+  EXPECT_EQ(policy_mode_from_string("moldable"), PolicyMode::kMoldable);
+  EXPECT_EQ(policy_mode_from_string("min"), PolicyMode::kRigidMin);
+  EXPECT_THROW(policy_mode_from_string("nope"), PreconditionError);
+}
+
+// Property test: under random submit/complete sequences, slot accounting
+// stays consistent and allocations stay within [min, max] and capacity.
+class PolicyInvariants : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PolicyInvariants, SlotAccountingAlwaysConsistent) {
+  Rng rng(GetParam());
+  for (PolicyMode mode : {PolicyMode::kRigidMin, PolicyMode::kRigidMax,
+                          PolicyMode::kMoldable, PolicyMode::kElastic}) {
+    PolicyConfig cfg;
+    cfg.mode = mode;
+    cfg.rescale_gap_s = rng.uniform(0.0, 200.0);
+    PolicyEngine eng(64, cfg);
+    std::vector<JobId> active;
+    double now = 0.0;
+    int next_id = 0;
+    for (int step = 0; step < 200; ++step) {
+      now += rng.uniform(1.0, 120.0);
+      const bool do_submit = active.empty() || rng.chance(0.55);
+      if (do_submit) {
+        const int min_r = static_cast<int>(rng.uniform_int(1, 16));
+        const int max_r =
+            min_r + static_cast<int>(rng.uniform_int(0, 48 - min_r));
+        eng.submit(spec(next_id, min_r, max_r, static_cast<int>(rng.uniform_int(1, 5))),
+                   now);
+        active.push_back(next_id++);
+      } else {
+        // Complete a random running job.
+        std::vector<JobId> running = eng.running();
+        if (running.empty()) continue;
+        const JobId victim = running[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(running.size()) - 1))];
+        eng.complete(victim, now);
+        active.erase(std::find(active.begin(), active.end(), victim));
+      }
+      // Invariants after every operation.
+      int used = 0;
+      for (JobId id : eng.all_jobs()) {
+        const JobState& j = eng.job(id);
+        if (j.running) {
+          EXPECT_GE(j.replicas, j.spec.min_replicas);
+          EXPECT_LE(j.replicas, j.spec.max_replicas);
+          used += j.replicas;
+        } else {
+          EXPECT_EQ(j.replicas, 0);
+        }
+      }
+      EXPECT_EQ(used, eng.used_slots());
+      EXPECT_EQ(eng.used_slots() + eng.free_slots(), 64);
+      EXPECT_GE(eng.free_slots(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PolicyInvariants,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace ehpc::elastic
+namespace ehpc::elastic {
+namespace {
+
+TEST(PolicyExtensions, AgingPromotesStarvedJob) {
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kElastic;
+  cfg.rescale_gap_s = 0.0;
+  cfg.aging_rate_per_s = 0.01;  // +1 priority point per 100 s waiting
+  PolicyEngine eng(64, cfg);
+  JobSpec hog;
+  hog.id = 0;
+  hog.min_replicas = hog.max_replicas = 64;
+  hog.priority = 5;
+  eng.submit(hog, 0.0);
+  // Low-priority job queued early; high-priority job queued much later.
+  JobSpec starved;
+  starved.id = 1;
+  starved.min_replicas = starved.max_replicas = 32;
+  starved.priority = 1;
+  eng.submit(starved, 10.0);
+  JobSpec fresh;
+  fresh.id = 2;
+  fresh.min_replicas = fresh.max_replicas = 32;
+  fresh.priority = 3;
+  eng.submit(fresh, 990.0);
+  // At t=1000 the starved job has aged 990 s -> effective 1 + 9.9 = 10.9,
+  // beating the fresh job's 3 + 0.1.
+  auto actions = eng.complete(0, 1000.0);
+  ASSERT_GE(actions.size(), 2u);
+  EXPECT_EQ(actions[0].type, ActionType::kStart);
+  EXPECT_EQ(actions[0].job, 1);
+
+  // Without aging, the fresh higher-priority job would start first.
+  PolicyConfig plain = cfg;
+  plain.aging_rate_per_s = 0.0;
+  PolicyEngine eng2(64, plain);
+  eng2.submit(hog, 0.0);
+  eng2.submit(starved, 10.0);
+  eng2.submit(fresh, 990.0);
+  auto plain_actions = eng2.complete(0, 1000.0);
+  EXPECT_EQ(plain_actions[0].job, 2);
+}
+
+TEST(PolicyExtensions, ExpandDeclinedWhenAlmostDone) {
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kElastic;
+  cfg.rescale_gap_s = 0.0;
+  cfg.min_remaining_fraction_for_expand = 0.2;
+  PolicyEngine eng(64, cfg);
+  eng.set_progress_provider([](JobId) { return 0.05; });  // 5% remaining
+  eng.submit(spec(0, 32, 32, 5), 0.0);
+  eng.submit(spec(1, 8, 64, 3), 1.0);  // sized to 32, below max
+  auto actions = eng.complete(0, 100.0);
+  EXPECT_EQ(find_action(actions, ActionType::kExpand), nullptr);
+  EXPECT_EQ(eng.job(1).replicas, 32);
+}
+
+TEST(PolicyExtensions, ExpandProceedsWhenEnoughRemains) {
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kElastic;
+  cfg.rescale_gap_s = 0.0;
+  cfg.min_remaining_fraction_for_expand = 0.2;
+  PolicyEngine eng(64, cfg);
+  eng.set_progress_provider([](JobId) { return 0.8; });
+  eng.submit(spec(0, 32, 32, 5), 0.0);
+  eng.submit(spec(1, 8, 64, 3), 1.0);
+  auto actions = eng.complete(0, 100.0);
+  EXPECT_NE(find_action(actions, ActionType::kExpand), nullptr);
+  EXPECT_EQ(eng.job(1).replicas, 64);
+}
+
+TEST(PolicyExtensions, ExpandDeclinedWhenGainTooSmall) {
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kElastic;
+  cfg.rescale_gap_s = 0.0;
+  cfg.min_expand_gain = 0.5;  // require +50% replicas
+  PolicyEngine eng(64, cfg);
+  eng.submit(spec(0, 8, 8, 5), 0.0);     // 8 used
+  eng.submit(spec(1, 8, 64, 3), 1.0);    // sized to 56, below max
+  // Completing job 0 frees 8: only a 14% gain for job 1 -> declined.
+  auto actions = eng.complete(0, 100.0);
+  EXPECT_EQ(find_action(actions, ActionType::kExpand), nullptr);
+  EXPECT_EQ(eng.job(1).replicas, 56);
+}
+
+TEST(PolicyExtensions, QueuedJobsExemptFromCostBenefit) {
+  // Cost/benefit gates only expansions; queued jobs always start.
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kElastic;
+  cfg.rescale_gap_s = 0.0;
+  cfg.min_remaining_fraction_for_expand = 0.9;
+  PolicyEngine eng(64, cfg);
+  eng.set_progress_provider([](JobId) { return 0.0; });
+  eng.submit(spec(0, 64, 64, 5), 0.0);
+  eng.submit(spec(1, 16, 16, 3), 1.0);  // queued
+  auto actions = eng.complete(0, 100.0);
+  const Action* start = find_action(actions, ActionType::kStart);
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(start->job, 1);
+}
+
+}  // namespace
+}  // namespace ehpc::elastic

@@ -1,0 +1,121 @@
+#include "elastic/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ehpc::elastic {
+namespace {
+
+TEST(RescaleOverheadModel, CheckpointShrinksWithMoreReplicas) {
+  RescaleOverheadModel m;
+  m.data_bytes = 1e9;
+  EXPECT_GT(m.checkpoint_s(4), m.checkpoint_s(32));
+}
+
+TEST(RescaleOverheadModel, CheckpointGrowsWithData) {
+  RescaleOverheadModel a, b;
+  a.data_bytes = 1e8;
+  b.data_bytes = 4e9;
+  EXPECT_LT(a.checkpoint_s(8), b.checkpoint_s(8));
+}
+
+TEST(RescaleOverheadModel, RestartGrowsWithRanks) {
+  RescaleOverheadModel m;
+  EXPECT_LT(m.restart_s(4), m.restart_s(64));
+  EXPECT_DOUBLE_EQ(m.restart_s(10), m.startup_alpha_s + 10 * m.startup_per_pe_s);
+}
+
+TEST(RescaleOverheadModel, SameSizeIsFree) {
+  RescaleOverheadModel m;
+  m.data_bytes = 1e9;
+  EXPECT_DOUBLE_EQ(m.overhead_s(16, 16), 0.0);
+  EXPECT_DOUBLE_EQ(m.load_balance_s(16, 16), 0.0);
+}
+
+TEST(RescaleOverheadModel, OverheadPositiveBothDirections) {
+  RescaleOverheadModel m;
+  m.data_bytes = 1e9;
+  EXPECT_GT(m.overhead_s(32, 16), 0.0);
+  EXPECT_GT(m.overhead_s(16, 32), 0.0);
+}
+
+TEST(RescaleOverheadModel, LbMovesMoreWhenRatioLarger) {
+  RescaleOverheadModel m;
+  m.data_bytes = 1e9;
+  EXPECT_GT(m.load_balance_s(64, 8), m.load_balance_s(64, 32));
+}
+
+TEST(Workload, PaperClassParameters) {
+  const Workload s = make_workload(JobClass::kSmall);
+  EXPECT_EQ(s.grid_n, 512);
+  EXPECT_EQ(s.min_replicas, 2);
+  EXPECT_EQ(s.max_replicas, 8);
+  EXPECT_DOUBLE_EQ(s.total_steps, 40000);
+
+  const Workload x = make_workload(JobClass::kXLarge);
+  EXPECT_EQ(x.grid_n, 16384);
+  EXPECT_EQ(x.min_replicas, 16);
+  EXPECT_EQ(x.max_replicas, 64);
+  EXPECT_DOUBLE_EQ(x.total_steps, 10000);
+}
+
+TEST(Workload, StepTimeDecreasesWithReplicasForLarge) {
+  const Workload w = make_workload(JobClass::kXLarge);
+  EXPECT_GT(w.time_per_step.at(4), w.time_per_step.at(16));
+  EXPECT_GT(w.time_per_step.at(16), w.time_per_step.at(64));
+}
+
+TEST(Workload, RuntimeAtUsesTotalSteps) {
+  const Workload w = make_workload(JobClass::kMedium);
+  const double t16 = w.runtime_at(16);
+  EXPECT_NEAR(t16, w.total_steps * w.time_per_step.at(16), 1e-9);
+  EXPECT_LT(t16, w.runtime_at(4));
+}
+
+TEST(Workload, LargerClassesRunLongerAtSameReplicas) {
+  EXPECT_LT(make_workload(JobClass::kSmall).time_per_step.at(8),
+            make_workload(JobClass::kLarge).time_per_step.at(8));
+}
+
+TEST(Workload, RescaleDataMatchesGrid) {
+  const Workload w = make_workload(JobClass::kLarge);
+  EXPECT_DOUBLE_EQ(w.rescale.data_bytes, 8192.0 * 8192.0 * 8.0);
+}
+
+TEST(Workload, SpecForClassMatchesParameters) {
+  const JobSpec s = spec_for_class(JobClass::kLarge, 7, 4);
+  EXPECT_EQ(s.id, 7);
+  EXPECT_EQ(s.min_replicas, 8);
+  EXPECT_EQ(s.max_replicas, 32);
+  EXPECT_EQ(s.priority, 4);
+  EXPECT_EQ(s.name, "large-7");
+}
+
+TEST(Workload, ClassNames) {
+  EXPECT_EQ(to_string(JobClass::kSmall), "small");
+  EXPECT_EQ(to_string(JobClass::kXLarge), "xlarge");
+}
+
+// Parameterized sanity sweep over every (class, replica) combination the
+// scheduler can produce.
+class WorkloadSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WorkloadSweep, StepTimesPositiveAndFinite) {
+  const auto cls = static_cast<JobClass>(std::get<0>(GetParam()));
+  const int replicas = std::get<1>(GetParam());
+  const Workload w = make_workload(cls);
+  const double t = w.time_per_step.at_clamped(replicas);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 60.0);  // one step never takes a minute
+  const double o = w.rescale.overhead_s(replicas, std::max(1, replicas / 2));
+  EXPECT_GE(o, 0.0);
+  EXPECT_LT(o, 120.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClassesAndReplicas, WorkloadSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 2, 4, 8, 16, 32, 64)));
+
+}  // namespace
+}  // namespace ehpc::elastic

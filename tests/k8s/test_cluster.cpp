@@ -1,0 +1,96 @@
+#include "k8s/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ehpc::k8s {
+namespace {
+
+Pod worker(const std::string& name, int cpus = 1) {
+  Pod p;
+  p.meta.name = name;
+  p.request = {cpus, 512};
+  return p;
+}
+
+TEST(Cluster, AddNodesCreatesCapacity) {
+  Cluster c;
+  c.add_nodes("node", 4, {16, 32768});
+  EXPECT_EQ(c.total_cpus(), 64);
+  EXPECT_EQ(c.nodes().size(), 4u);
+}
+
+TEST(Cluster, PodLifecycleReachesRunning) {
+  Cluster c;
+  c.add_nodes("node", 1, {16, 32768});
+  c.create_pod(worker("p0"));
+  EXPECT_EQ(c.pods().get("p0").phase, PodPhase::kPending);
+  c.sim().run();
+  const Pod& p = c.pods().get("p0");
+  EXPECT_EQ(p.phase, PodPhase::kRunning);
+  EXPECT_EQ(p.node_name, "node-0");
+  EXPECT_GT(p.running_time, p.scheduled_time);
+}
+
+TEST(Cluster, StartupLatencyIsModeled) {
+  ClusterConfig cfg;
+  cfg.kubelet.pod_startup_s = 5.0;
+  cfg.scheduler.schedule_latency_s = 1.0;
+  Cluster c(cfg);
+  c.add_nodes("node", 1, {16, 32768});
+  c.create_pod(worker("p0"));
+  c.sim().run();
+  EXPECT_GE(c.sim().now(), 6.0);
+  EXPECT_EQ(c.pods().get("p0").phase, PodPhase::kRunning);
+}
+
+TEST(Cluster, DeleteGoesThroughTerminating) {
+  Cluster c;
+  c.add_nodes("node", 1, {16, 32768});
+  c.create_pod(worker("p0"));
+  c.sim().run();
+  c.delete_pod("p0");
+  EXPECT_EQ(c.pods().get("p0").phase, PodPhase::kTerminating);
+  c.sim().run();
+  EXPECT_FALSE(c.pods().contains("p0"));
+}
+
+TEST(Cluster, UsedCpusTracksNonFinishedPods) {
+  Cluster c;
+  c.add_nodes("node", 1, {16, 32768});
+  c.create_pod(worker("p0", 3));
+  c.create_pod(worker("p1", 2));
+  EXPECT_EQ(c.used_cpus(), 5);  // pending pods still claim their request
+  c.sim().run();
+  c.delete_pod("p0");
+  c.sim().run();
+  EXPECT_EQ(c.used_cpus(), 2);
+}
+
+TEST(Cluster, PodWaitsWhenClusterFull) {
+  Cluster c;
+  c.add_nodes("node", 1, {2, 32768});
+  c.create_pod(worker("p0"));
+  c.create_pod(worker("p1"));
+  c.create_pod(worker("p2"));  // no room
+  c.sim().run();
+  EXPECT_EQ(c.pods().get("p2").phase, PodPhase::kPending);
+  // Freeing capacity lets the waiter in.
+  c.delete_pod("p0");
+  c.sim().run();
+  EXPECT_EQ(c.pods().get("p2").phase, PodPhase::kRunning);
+}
+
+TEST(Cluster, ZeroCpuPodAlwaysFits) {
+  Cluster c;
+  c.add_nodes("node", 1, {1, 32768});
+  c.create_pod(worker("w0", 1));
+  Pod launcher;
+  launcher.meta.name = "launcher";
+  launcher.request = {0, 256};
+  c.create_pod(std::move(launcher));
+  c.sim().run();
+  EXPECT_EQ(c.pods().get("launcher").phase, PodPhase::kRunning);
+}
+
+}  // namespace
+}  // namespace ehpc::k8s

@@ -1,0 +1,56 @@
+#include "net/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ehpc::net {
+namespace {
+
+TEST(LinkModel, TransferTimeIsAffine) {
+  LinkModel link{1.0e-6, 1.0e9};
+  EXPECT_DOUBLE_EQ(link.transfer_time(0), 1.0e-6);
+  EXPECT_DOUBLE_EQ(link.transfer_time(1'000'000), 1.0e-6 + 1.0e-3);
+}
+
+TEST(CostModel, IntraVsInterNode) {
+  CostModel m(LinkModel{1.0e-6, 10.0e9}, LinkModel{20.0e-6, 1.0e9}, 1.0e-6);
+  const std::size_t bytes = 1 << 20;
+  EXPECT_LT(m.message_time(bytes, 0, 0), m.message_time(bytes, 0, 1));
+}
+
+TEST(CostModel, SoftwareOverheadAlwaysPresent) {
+  CostModel m(LinkModel{0.0, 1.0e9}, LinkModel{0.0, 1.0e9}, 5.0e-6);
+  EXPECT_DOUBLE_EQ(m.message_time(0, 0, 0), 5.0e-6);
+  EXPECT_DOUBLE_EQ(m.inter_alpha(), 5.0e-6);
+}
+
+TEST(CostModel, LargerMessagesCostMore) {
+  CostModel m = presets::eks_placement_group();
+  EXPECT_LT(m.message_time(1024, 0, 1), m.message_time(1 << 20, 0, 1));
+}
+
+TEST(Presets, RelativeLatencyOrdering) {
+  // InfiniBand < EKS placement group < generic cloud for inter-node alpha.
+  EXPECT_LT(presets::infiniband().inter_node().alpha_s,
+            presets::eks_placement_group().inter_node().alpha_s);
+  EXPECT_LT(presets::eks_placement_group().inter_node().alpha_s,
+            presets::generic_cloud().inter_node().alpha_s);
+}
+
+TEST(Presets, BandwidthOrdering) {
+  EXPECT_GT(presets::infiniband().inter_node().bandwidth_Bps,
+            presets::eks_placement_group().inter_node().bandwidth_Bps);
+  EXPECT_GT(presets::eks_placement_group().inter_node().bandwidth_Bps,
+            presets::generic_cloud().inter_node().bandwidth_Bps);
+}
+
+TEST(Presets, ByNameResolves) {
+  EXPECT_NO_THROW(presets::by_name("eks"));
+  EXPECT_NO_THROW(presets::by_name("cloud"));
+  EXPECT_NO_THROW(presets::by_name("ib"));
+  EXPECT_THROW(presets::by_name("bogus"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ehpc::net

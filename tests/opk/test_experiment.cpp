@@ -1,0 +1,113 @@
+#include "opk/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schedsim/calibrate.hpp"
+
+namespace ehpc::opk {
+namespace {
+
+using elastic::JobClass;
+using elastic::PolicyMode;
+using schedsim::SubmittedJob;
+
+SubmittedJob job(int id, JobClass cls, int priority, double submit) {
+  SubmittedJob j;
+  j.spec = elastic::spec_for_class(cls, id, priority);
+  j.job_class = cls;
+  j.submit_time = submit;
+  return j;
+}
+
+ExperimentConfig config(PolicyMode mode, double gap = 180.0) {
+  ExperimentConfig cfg;
+  cfg.policy.mode = mode;
+  cfg.policy.rescale_gap_s = gap;
+  return cfg;
+}
+
+TEST(ClusterExperiment, SingleJobIncludesStartupOverheads) {
+  auto workloads = schedsim::analytic_workloads();
+  ClusterExperiment exp(config(PolicyMode::kElastic), workloads);
+  auto result = exp.run({job(0, JobClass::kMedium, 3, 0.0)});
+  ASSERT_EQ(result.jobs.size(), 1u);
+  // Unlike the simulator, the response time covers scheduling latency,
+  // reconcile latency and pod startup.
+  EXPECT_GT(result.jobs[0].start_time, 0.5);
+  EXPECT_LT(result.jobs[0].start_time, 30.0);
+}
+
+TEST(ClusterExperiment, ActualSlowerThanSimulationForSameMix) {
+  auto workloads = schedsim::analytic_workloads();
+  const std::vector<SubmittedJob> mix{job(0, JobClass::kMedium, 3, 0.0),
+                                      job(1, JobClass::kSmall, 2, 30.0),
+                                      job(2, JobClass::kLarge, 4, 60.0)};
+  schedsim::SchedSimulator sim(64, config(PolicyMode::kElastic).policy,
+                               workloads);
+  const auto simulated = sim.run(mix);
+  ClusterExperiment exp(config(PolicyMode::kElastic), workloads);
+  const auto actual = exp.run(mix);
+  EXPECT_GE(actual.metrics.total_time_s, simulated.metrics.total_time_s);
+  // But not pathologically so: overheads are seconds, jobs run for minutes.
+  EXPECT_LT(actual.metrics.total_time_s,
+            simulated.metrics.total_time_s * 1.5);
+}
+
+TEST(ClusterExperiment, ElasticRescalesOnCluster) {
+  auto workloads = schedsim::analytic_workloads();
+  ClusterExperiment exp(config(PolicyMode::kElastic, 0.0), workloads);
+  // Two large jobs fill the cluster; job 1 is the unprotected victim for
+  // the high-priority xlarge arrival.
+  auto result = exp.run({job(0, JobClass::kLarge, 1, 0.0),
+                         job(1, JobClass::kLarge, 1, 1.0),
+                         job(2, JobClass::kXLarge, 5, 30.0)});
+  EXPECT_GE(result.rescale_count, 1);
+  EXPECT_EQ(result.jobs.size(), 3u);
+}
+
+TEST(ClusterExperiment, PodsAllGoneAfterRun) {
+  auto workloads = schedsim::analytic_workloads();
+  ClusterExperiment exp(config(PolicyMode::kMoldable), workloads);
+  exp.run({job(0, JobClass::kSmall, 1, 0.0), job(1, JobClass::kMedium, 2, 10.0)});
+  EXPECT_EQ(exp.cluster().used_cpus(), 0);
+}
+
+TEST(ClusterExperiment, AllPoliciesFinishAMix) {
+  auto workloads = schedsim::analytic_workloads();
+  schedsim::JobMixGenerator gen(31);
+  const auto mix = gen.generate(8, 60.0);
+  for (auto mode : {PolicyMode::kRigidMin, PolicyMode::kRigidMax,
+                    PolicyMode::kMoldable, PolicyMode::kElastic}) {
+    ClusterExperiment exp(config(mode), workloads);
+    auto result = exp.run(mix);
+    EXPECT_EQ(result.jobs.size(), mix.size()) << elastic::to_string(mode);
+  }
+}
+
+TEST(ClusterExperiment, UtilizationTraceRecorded) {
+  auto workloads = schedsim::analytic_workloads();
+  ClusterExperiment exp(config(PolicyMode::kElastic), workloads);
+  auto result = exp.run({job(0, JobClass::kMedium, 3, 0.0)});
+  EXPECT_TRUE(result.trace.has("util"));
+  EXPECT_TRUE(result.trace.has("job.0.replicas"));
+}
+
+TEST(ClusterExperiment, SingleShot) {
+  auto workloads = schedsim::analytic_workloads();
+  ClusterExperiment exp(config(PolicyMode::kElastic), workloads);
+  exp.run({job(0, JobClass::kSmall, 1, 0.0)});
+  EXPECT_THROW(exp.run({job(1, JobClass::kSmall, 1, 0.0)}), PreconditionError);
+}
+
+TEST(ClusterExperiment, DeterministicAcrossRuns) {
+  auto workloads = schedsim::analytic_workloads();
+  schedsim::JobMixGenerator gen(13);
+  const auto mix = gen.generate(6, 45.0);
+  ClusterExperiment a(config(PolicyMode::kElastic), workloads);
+  ClusterExperiment b(config(PolicyMode::kElastic), workloads);
+  EXPECT_DOUBLE_EQ(a.run(mix).metrics.total_time_s,
+                   b.run(mix).metrics.total_time_s);
+}
+
+}  // namespace
+}  // namespace ehpc::opk

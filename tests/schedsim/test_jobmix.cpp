@@ -1,0 +1,72 @@
+#include "schedsim/jobmix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ehpc::schedsim {
+namespace {
+
+TEST(JobMixGenerator, GeneratesRequestedCount) {
+  JobMixGenerator gen(1);
+  auto mix = gen.generate(16, 90.0);
+  EXPECT_EQ(mix.size(), 16u);
+}
+
+TEST(JobMixGenerator, SubmitTimesAreSpacedByGap) {
+  JobMixGenerator gen(1);
+  auto mix = gen.generate(5, 90.0);
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    EXPECT_DOUBLE_EQ(mix[i].submit_time, 90.0 * static_cast<double>(i));
+  }
+}
+
+TEST(JobMixGenerator, DeterministicForSameSeed) {
+  JobMixGenerator a(7), b(7);
+  auto ma = a.generate(16, 50.0);
+  auto mb = b.generate(16, 50.0);
+  for (std::size_t i = 0; i < ma.size(); ++i) {
+    EXPECT_EQ(ma[i].job_class, mb[i].job_class);
+    EXPECT_EQ(ma[i].spec.priority, mb[i].spec.priority);
+  }
+}
+
+TEST(JobMixGenerator, PrioritiesWithinPaperRange) {
+  JobMixGenerator gen(3);
+  for (const auto& job : gen.generate(200, 0.0)) {
+    EXPECT_GE(job.spec.priority, 1);
+    EXPECT_LE(job.spec.priority, 5);
+  }
+}
+
+TEST(JobMixGenerator, AllClassesAppearInLargeSamples) {
+  JobMixGenerator gen(5);
+  std::set<elastic::JobClass> seen;
+  for (const auto& job : gen.generate(100, 0.0)) seen.insert(job.job_class);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(JobMixGenerator, SpecsMatchClassBounds) {
+  JobMixGenerator gen(9);
+  for (const auto& job : gen.generate(50, 10.0)) {
+    const auto w = elastic::make_workload(job.job_class);
+    EXPECT_EQ(job.spec.min_replicas, w.min_replicas);
+    EXPECT_EQ(job.spec.max_replicas, w.max_replicas);
+  }
+}
+
+TEST(JobMixGenerator, UniqueIds) {
+  JobMixGenerator gen(11);
+  std::set<int> ids;
+  for (const auto& job : gen.generate(30, 1.0)) ids.insert(job.spec.id);
+  EXPECT_EQ(ids.size(), 30u);
+}
+
+TEST(JobMixGenerator, RejectsInvalidArguments) {
+  JobMixGenerator gen(1);
+  EXPECT_THROW(gen.generate(0, 10.0), PreconditionError);
+  EXPECT_THROW(gen.generate(5, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ehpc::schedsim

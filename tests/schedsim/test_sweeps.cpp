@@ -1,0 +1,88 @@
+#include "schedsim/sweeps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ehpc::schedsim {
+namespace {
+
+using elastic::PolicyMode;
+
+ExperimentParams fast_params() {
+  ExperimentParams p;
+  p.repeats = 4;          // keep unit tests quick
+  p.calibrated = false;   // analytic curves: no minicharm runs
+  p.seed = 99;
+  return p;
+}
+
+TEST(Sweeps, ComparePoliciesCoversAllFour) {
+  auto metrics = compare_policies(fast_params());
+  EXPECT_EQ(metrics.size(), 4u);
+  for (const auto& [mode, m] : metrics) {
+    EXPECT_GT(m.total_time_s, 0.0) << to_string(mode);
+    EXPECT_GT(m.utilization, 0.0);
+    EXPECT_LE(m.utilization, 1.0);
+  }
+}
+
+TEST(Sweeps, ElasticBeatsRigidOnUtilization) {
+  // The paper's headline: elastic has the highest utilization and the
+  // lowest total time of the four policies.
+  ExperimentParams p = fast_params();
+  p.repeats = 8;
+  p.submission_gap_s = 90.0;
+  auto metrics = compare_policies(p);
+  const auto& elastic = metrics.at(PolicyMode::kElastic);
+  EXPECT_GE(elastic.utilization,
+            metrics.at(PolicyMode::kRigidMin).utilization);
+  EXPECT_GE(elastic.utilization,
+            metrics.at(PolicyMode::kRigidMax).utilization);
+  EXPECT_LE(elastic.total_time_s,
+            metrics.at(PolicyMode::kRigidMin).total_time_s);
+  EXPECT_LE(elastic.total_time_s,
+            metrics.at(PolicyMode::kRigidMax).total_time_s);
+}
+
+TEST(Sweeps, SubmissionGapSweepProducesOnePointPerGap) {
+  auto points = sweep_submission_gap(fast_params(), {0.0, 150.0, 300.0});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(points[2].x, 300.0);
+  for (const auto& pt : points) EXPECT_EQ(pt.metrics.size(), 4u);
+}
+
+TEST(Sweeps, UtilizationDropsAsGapGrows) {
+  ExperimentParams p = fast_params();
+  p.repeats = 6;
+  auto points = sweep_submission_gap(p, {0.0, 300.0});
+  for (auto mode : {PolicyMode::kRigidMin, PolicyMode::kElastic}) {
+    EXPECT_GT(points[0].metrics.at(mode).utilization,
+              points[1].metrics.at(mode).utilization)
+        << to_string(mode);
+  }
+}
+
+TEST(Sweeps, RescaleGapSweepElasticApproachesMoldable) {
+  // Paper Fig. 8: as T_rescale_gap grows, the elastic scheduler converges to
+  // the moldable scheduler (which never rescales).
+  ExperimentParams p = fast_params();
+  p.repeats = 6;
+  auto points = sweep_rescale_gap(p, {0.0, 100000.0});
+  const auto& far = points[1].metrics;
+  EXPECT_NEAR(far.at(PolicyMode::kElastic).total_time_s,
+              far.at(PolicyMode::kMoldable).total_time_s,
+              far.at(PolicyMode::kMoldable).total_time_s * 0.02);
+  // And at gap 0 the elastic scheduler must differ (it rescales).
+  const auto& near_ = points[0].metrics;
+  EXPECT_LT(near_.at(PolicyMode::kElastic).total_time_s,
+            near_.at(PolicyMode::kMoldable).total_time_s * 1.001);
+}
+
+TEST(Sweeps, RunSingleReturnsTraces) {
+  auto result = run_single(fast_params(), PolicyMode::kElastic, 42);
+  EXPECT_TRUE(result.trace.has("util"));
+  EXPECT_EQ(result.jobs.size(), 16u);
+}
+
+}  // namespace
+}  // namespace ehpc::schedsim

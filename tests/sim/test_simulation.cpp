@@ -1,0 +1,128 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ehpc::sim {
+namespace {
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, FifoAmongEqualTimes) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ScheduleAfterIsRelative) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_after(3.0, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  EventId id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // already cancelled
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulation, CancelledEventDoesNotBlockOthers) {
+  Simulation sim;
+  int count = 0;
+  EventId id = sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  sim.cancel(id);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(5.0, [&] { ++count; });
+  EXPECT_EQ(sim.run_until(3.0), 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenEmpty) {
+  Simulation sim;
+  sim.run_until(7.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+}
+
+TEST(Simulation, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(Simulation, RejectsPastScheduling) {
+  Simulation sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), PreconditionError);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), PreconditionError);
+}
+
+TEST(Simulation, StepExecutesExactlyOne) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, ExecutedCounterAccumulates) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(static_cast<Time>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(Simulation, PendingTracksCancellations) {
+  Simulation sim;
+  EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace ehpc::sim
