@@ -1,0 +1,40 @@
+# Locate GoogleTest: prefer an installed package, fall back to FetchContent.
+#
+# Provides the GTest::gtest and GTest::gtest_main imported targets and
+# makes `gtest_discover_tests` available to callers.
+
+include(GoogleTest) # for gtest_discover_tests
+
+find_package(GTest CONFIG QUIET)
+
+if(NOT TARGET GTest::gtest_main)
+  # Debian-style source-only install (/usr/src/googletest).
+  if(EXISTS "/usr/src/googletest/CMakeLists.txt")
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    add_subdirectory(/usr/src/googletest "${CMAKE_BINARY_DIR}/_deps/googletest" EXCLUDE_FROM_ALL)
+    if(NOT TARGET GTest::gtest_main)
+      add_library(GTest::gtest ALIAS gtest)
+      add_library(GTest::gtest_main ALIAS gtest_main)
+    endif()
+  endif()
+endif()
+
+if(NOT TARGET GTest::gtest_main)
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+    URL_HASH SHA256=1f357c27ca988c3f7c6b4bf68a9395005ac6761f034046e9dde0896e3aba00e4
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()
+
+if(NOT TARGET GTest::gtest_main)
+  message(FATAL_ERROR "GoogleTest not found: no installed package, no /usr/src/googletest, and FetchContent failed")
+endif()

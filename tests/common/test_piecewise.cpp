@@ -66,6 +66,46 @@ TEST(PiecewiseLinear, LogLogRejectsNonPositive) {
   EXPECT_THROW(f.at_loglog(0.0), PreconditionError);
 }
 
+TEST(PiecewiseLinear, DefaultConstructedIsEmptyAndRejectsQueries) {
+  PiecewiseLinear f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_THROW(f.at(1.0), PreconditionError);
+  EXPECT_THROW(f.at_clamped(1.0), PreconditionError);
+  EXPECT_THROW(f.at_loglog(1.0), PreconditionError);
+}
+
+TEST(PiecewiseLinear, SingleKnotAllQueryModesAreConstant) {
+  PiecewiseLinear f({{3.0, 7.0}});
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.at_clamped(-100.0), 7.0);
+  EXPECT_DOUBLE_EQ(f.at_clamped(100.0), 7.0);
+  EXPECT_DOUBLE_EQ(f.at_loglog(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(f.at_loglog(50.0), 7.0);
+}
+
+TEST(PiecewiseLinear, FarOutOfRangeExtrapolationFollowsEdgeSegments) {
+  // Left segment has slope 2, right segment has slope -1; extrapolation must
+  // continue those slopes arbitrarily far out, even past y = 0.
+  PiecewiseLinear f({{0.0, 0.0}, {1.0, 2.0}, {3.0, 0.0}});
+  EXPECT_DOUBLE_EQ(f.at(-10.0), -20.0);
+  EXPECT_DOUBLE_EQ(f.at(103.0), -100.0);
+}
+
+TEST(PiecewiseLinear, ExtrapolationAndClampAgreeAtBoundary) {
+  PiecewiseLinear f({{1.0, 4.0}, {2.0, 8.0}});
+  EXPECT_DOUBLE_EQ(f.at(1.0), f.at_clamped(1.0));
+  EXPECT_DOUBLE_EQ(f.at(2.0), f.at_clamped(2.0));
+}
+
+TEST(PiecewiseLinear, PointsAccessorReturnsSortedKnots) {
+  PiecewiseLinear f({{2.0, 20.0}, {1.0, 10.0}, {3.0, 30.0}});
+  const auto& pts = f.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().first, 3.0);
+}
+
 // Property sweep: interpolation is monotone within a monotone segment and
 // bounded by segment endpoints.
 class PiecewiseProperty : public ::testing::TestWithParam<double> {};

@@ -1,0 +1,93 @@
+// Pins exact RNG output sequences for fixed seeds. Every figure reproduction
+// (job mixes, arrival processes, calibration noise) depends on run-to-run and
+// machine-to-machine reproducibility, so a silent change to the engine, the
+// default seed, or `split()` must fail loudly here.
+//
+// The raw std::mt19937_64 sequence is mandated by the C++ standard
+// ([rand.eng.mers]), so the engine-level pins are portable across compilers
+// and architectures. Distribution-level output is implementation-defined, so
+// those pins are guarded to libstdc++ (the toolchain CI runs).
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+namespace ehpc {
+namespace {
+
+TEST(RngDeterminism, RawEngineSequencePinnedForFixedSeed) {
+  Rng rng(12345);
+  const std::array<std::uint64_t, 5> expected{
+      6597103971274460346ull, 7386862472818278521ull, 12716877617435052285ull,
+      10325298820568433954ull, 10596756003076376996ull};
+  for (std::uint64_t want : expected) {
+    EXPECT_EQ(rng.engine()(), want);
+  }
+}
+
+TEST(RngDeterminism, DefaultSeedSequencePinned) {
+  Rng rng;
+  const std::array<std::uint64_t, 3> expected{
+      18166583390611423225ull, 13118201317593763316ull,
+      10726798203296004101ull};
+  for (std::uint64_t want : expected) {
+    EXPECT_EQ(rng.engine()(), want);
+  }
+}
+
+TEST(RngDeterminism, TenThousandthOutputMatchesStandard) {
+  // [rand.predef]: the 10000th consecutive invocation of a default-constructed
+  // std::mt19937_64 must produce 9981545732273789042.
+  std::mt19937_64 engine;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 10000; ++i) v = engine();
+  EXPECT_EQ(v, 9981545732273789042ull);
+}
+
+TEST(RngDeterminism, SplitChildSequencePinned) {
+  Rng parent(42);
+  Rng child = parent.split();
+  const std::array<std::uint64_t, 3> expected{
+      3009440112552327892ull, 2854967155236198443ull, 17242943986237568742ull};
+  for (std::uint64_t want : expected) {
+    EXPECT_EQ(child.engine()(), want);
+  }
+}
+
+TEST(RngDeterminism, SplitIsDeterministic) {
+  Rng a(99), b(99);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ca.engine()(), cb.engine()());
+  }
+}
+
+#ifdef __GLIBCXX__
+// Distribution algorithms are implementation-defined; these pins document the
+// libstdc++ behavior the figure pipelines were calibrated against.
+TEST(RngDeterminism, UniformIntSequencePinnedOnLibstdcxx) {
+  Rng rng(2026);
+  const std::array<std::int64_t, 8> expected{317, 654, 484, 759,
+                                             255, 691, 290, 924};
+  for (std::int64_t want : expected) {
+    EXPECT_EQ(rng.uniform_int(0, 999), want);
+  }
+}
+
+TEST(RngDeterminism, UniformRealSequencePinnedOnLibstdcxx) {
+  Rng rng(7);
+  const std::array<double, 4> expected{
+      0.75438530415285798, 0.94930120289264419, 0.11741428103451812,
+      0.89191317671247639};
+  for (double want : expected) {
+    EXPECT_DOUBLE_EQ(rng.uniform(0.0, 1.0), want);
+  }
+}
+#endif
+
+}  // namespace
+}  // namespace ehpc

@@ -135,5 +135,54 @@ TEST(TimeWeightedAverage, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(time_weighted_average({}, 5.0), 0.0);
 }
 
+TEST(TimeWeightedAverage, ZeroSpanReturnsLastValue) {
+  EXPECT_DOUBLE_EQ(time_weighted_average({{2.0, 7.0}}, 2.0), 7.0);
+}
+
+TEST(TimeWeightedAverage, EndTimeBeforeStartThrows) {
+  EXPECT_THROW(time_weighted_average({{2.0, 7.0}}, 1.0), PreconditionError);
+}
+
+TEST(RunningStats, NegativeSamplesTrackMinMax) {
+  RunningStats s;
+  for (double x : {-3.0, -1.0, -7.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -7.0);
+  EXPECT_DOUBLE_EQ(s.max(), -1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), -11.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), -11.0);
+}
+
+TEST(RunningStats, StddevIsSqrtOfVariance) {
+  RunningStats s;
+  for (double x : {1.0, 3.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.stddev() * s.stddev(), s.variance());
+}
+
+TEST(RunningStats, ConstantSamplesHaveZeroVariance) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.add(4.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(WeightedMean, MergeWithEmptyIsIdentity) {
+  WeightedMean a, empty;
+  a.add(5.0, 2.0);
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.value(), 5.0);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.value(), 5.0);
+}
+
+TEST(Percentile, OutOfRangeQuantileThrows) {
+  EXPECT_THROW(percentile({1.0, 2.0}, -0.1), PreconditionError);
+  EXPECT_THROW(percentile({1.0, 2.0}, 1.1), PreconditionError);
+}
+
+TEST(Percentile, DuplicateValuesInterpolateFlat) {
+  EXPECT_DOUBLE_EQ(percentile({2.0, 2.0, 2.0, 9.0}, 0.5), 2.0);
+}
+
 }  // namespace
 }  // namespace ehpc
