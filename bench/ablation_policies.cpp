@@ -6,12 +6,11 @@
 //      rigid-by-priority (rigid max), the paper's motivation for (b) in §3.2.
 //   4. Load-balancer strategy inside the runtime: greedy vs refine rescale
 //      cost measured on minicharm.
-//
-// Usage: ablation_policies [repeats=40] [seed=2025]
 
-#include <iostream>
+#include <map>
 
 #include "apps/calibration.hpp"
+#include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "schedsim/calibrate.hpp"
@@ -42,18 +41,16 @@ void add_metrics_row(Table& t, const std::string& label,
              format_double(m.weighted_completion_s, 2)});
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+void run(bench::Reporter& rep, const Config& cfg) {
   const int repeats = cfg.get_int("repeats", 40);
   const unsigned seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
   const auto workloads = schedsim::analytic_workloads();
   const std::vector<std::string> headers{"variant", "total_s", "utilization",
                                          "response_s", "completion_s"};
 
-  std::cout << "== Ablation 1: reserve_slots (the 'freeSlots - 1' of Fig. 2) ==\n";
-  Table t1(headers);
+  Table& t1 = rep.add_table(
+      "ablation1_reserve_slots",
+      "Ablation 1: reserve_slots (the 'freeSlots - 1' of Fig. 2)", headers);
   for (int reserve : {0, 1, 2}) {
     elastic::PolicyConfig pc;
     pc.mode = PolicyMode::kElastic;
@@ -62,10 +59,10 @@ int main(int argc, char** argv) {
     add_metrics_row(t1, "reserve=" + std::to_string(reserve),
                     run_averaged(pc, repeats, seed, workloads));
   }
-  std::cout << t1.to_text() << "\n";
 
-  std::cout << "== Ablation 2: protect_top_job (Fig. 2/3 walks index > 0) ==\n";
-  Table t2(headers);
+  Table& t2 = rep.add_table(
+      "ablation2_protect_top_job",
+      "Ablation 2: protect_top_job (Fig. 2/3 walks index > 0)", headers);
   for (bool protect : {true, false}) {
     elastic::PolicyConfig pc;
     pc.mode = PolicyMode::kElastic;
@@ -74,11 +71,12 @@ int main(int argc, char** argv) {
     add_metrics_row(t2, protect ? "protected (paper)" : "all victims",
                     run_averaged(pc, repeats, seed, workloads));
   }
-  std::cout << t2.to_text() << "\n";
 
-  std::cout << "== Ablation 3: out-of-order allocation (moldable sizing) vs "
-               "rigid priority order ==\n";
-  Table t3(headers);
+  Table& t3 = rep.add_table(
+      "ablation3_out_of_order",
+      "Ablation 3: out-of-order allocation (moldable sizing) vs rigid "
+      "priority order",
+      headers);
   for (auto mode : {PolicyMode::kMoldable, PolicyMode::kRigidMax}) {
     elastic::PolicyConfig pc;
     pc.mode = mode;
@@ -86,12 +84,13 @@ int main(int argc, char** argv) {
     add_metrics_row(t3, elastic::to_string(mode),
                     run_averaged(pc, repeats, seed, workloads));
   }
-  std::cout << t3.to_text() << "\n";
 
-  std::cout << "== Ablation 4: runtime LB strategy during a 32->16 shrink "
-               "(Jacobi 8192^2, minicharm) ==\n";
-  Table t4({"strategy", "lb_s", "ckpt_s", "restart_s", "restore_s", "total_s",
-            "migrated_objects"});
+  Table& t4 = rep.add_table(
+      "ablation4_lb_strategy",
+      "Ablation 4: runtime LB strategy during a 32->16 shrink (Jacobi 8192^2, "
+      "minicharm)",
+      {"strategy", "lb_s", "ckpt_s", "restart_s", "restore_s", "total_s",
+       "migrated_objects"});
   for (const std::string lb : {"greedy", "refine", "null"}) {
     charm::RuntimeConfig rc;
     rc.load_balancer = lb;
@@ -101,6 +100,14 @@ int main(int argc, char** argv) {
                 format_double(t.restore_s, 4), format_double(t.total(), 4),
                 std::to_string(t.migrated_objects)});
   }
-  std::cout << t4.to_text();
-  return 0;
 }
+
+const bench::RegisterBench kReg{{
+    "ablation_policies",
+    "Ablations: reserve_slots, protect_top_job, allocation order, LB strategy",
+    {{"repeats", "40", "random job mixes per variant"},
+     {"seed", "2025", "base RNG seed"}},
+    {{"repeats", "10"}},
+    run}};
+
+}  // namespace

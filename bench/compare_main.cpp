@@ -1,0 +1,55 @@
+// bench_compare: diff two baseline directories produced by bench_run_all
+// (or any driver's out_dir=) and report per-metric deltas.
+//
+//   bench_compare <baseline_dir> <candidate_dir> [values=true] [rel_tol=0.05]
+//                 [abs_tol=1e-9] [compare_wall=false] [wall_rel_tol=0.5]
+//
+// values=false checks shape only (bench/table presence, row/column counts,
+// configs) — the CI mode, immune to timing and floating-point noise.
+// Exit codes: 0 = within tolerance, 1 = mismatches, 2 = usage/io error.
+
+#include <iostream>
+
+#include "bench/lib/compare.hpp"
+#include "common/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ehpc;
+  const char* const usage =
+      "usage: bench_compare <baseline_dir> <candidate_dir> [values=true]\n"
+      "       [rel_tol=0.05] [abs_tol=1e-9] [compare_wall=false]\n"
+      "       [wall_rel_tol=0.5]\n";
+
+  Config cfg;
+  try {
+    cfg = Config::from_args(
+        argc, argv,
+        {"values", "rel_tol", "abs_tol", "compare_wall", "wall_rel_tol"});
+  } catch (const ConfigError& err) {
+    std::cerr << "error: " << err.what() << "\n\n" << usage;
+    return 2;
+  }
+  if (cfg.positional().size() != 2) {
+    std::cerr << usage;
+    return 2;
+  }
+
+  bench::CompareOptions options;
+  options.values = cfg.get_bool("values", true);
+  options.rel_tol = cfg.get_double("rel_tol", options.rel_tol);
+  options.abs_tol = cfg.get_double("abs_tol", options.abs_tol);
+  options.compare_wall = cfg.get_bool("compare_wall", false);
+  options.wall_rel_tol = cfg.get_double("wall_rel_tol", options.wall_rel_tol);
+
+  try {
+    const bench::CompareReport report =
+        bench::compare_dirs(cfg.positional()[0], cfg.positional()[1], options);
+    std::cout << report.to_text();
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& err) {
+    // Corrupt baseline contents (truncated CSV, wrong-schema summary.json)
+    // must yield the documented exit code, not std::terminate.
+    std::cerr << "error: " << err.what() << "\n";
+    return 2;
+  }
+}

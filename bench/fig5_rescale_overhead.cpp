@@ -3,12 +3,9 @@
 //   Fig 5a: shrink to half, replicas 4..60, Jacobi 8192^2.
 //   Fig 5b: expand to double, replicas 2..32, Jacobi 8192^2.
 //   Fig 5c: shrink 32 -> 16 for grids 512..32768.
-//
-// Usage: fig5_rescale_overhead [csv=false]
-
-#include <iostream>
 
 #include "apps/calibration.hpp"
+#include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 
@@ -23,40 +20,50 @@ void add_timing_row(Table& table, const std::string& label,
                  format_double(t.restore_s, 4), format_double(t.total(), 4)});
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
-  const bool csv = cfg.get_bool("csv", false);
+void run(bench::Reporter& rep, const Config& cfg) {
+  const int grid = cfg.get_int("grid", 8192);
   const std::vector<std::string> headers{
       "x", "load_balance_s", "checkpoint_s", "restart_s", "restore_s", "total_s"};
 
-  std::cout << "== Figure 5a: shrink to half (Jacobi 8192^2); x = replicas before ==\n";
-  Table shrink(headers);
+  Table& shrink = rep.add_table(
+      "fig5a_shrink",
+      "Figure 5a: shrink to half (Jacobi " + std::to_string(grid) +
+          "^2); x = replicas before",
+      headers);
   for (int from : {4, 8, 16, 32, 60}) {
     add_timing_row(shrink, std::to_string(from),
-                   apps::measure_jacobi_rescale(8192, from, from / 2));
+                   apps::measure_jacobi_rescale(grid, from, from / 2));
   }
-  std::cout << (csv ? shrink.to_csv() : shrink.to_text()) << "\n";
 
-  std::cout << "== Figure 5b: expand to double (Jacobi 8192^2); x = replicas before ==\n";
-  Table expand(headers);
+  Table& expand = rep.add_table(
+      "fig5b_expand",
+      "Figure 5b: expand to double (Jacobi " + std::to_string(grid) +
+          "^2); x = replicas before",
+      headers);
   for (int from : {2, 4, 8, 16, 32}) {
     add_timing_row(expand, std::to_string(from),
-                   apps::measure_jacobi_rescale(8192, from, from * 2));
+                   apps::measure_jacobi_rescale(grid, from, from * 2));
   }
-  std::cout << (csv ? expand.to_csv() : expand.to_text()) << "\n";
 
-  std::cout << "== Figure 5c: shrink 32 -> 16; x = grid size (one dimension) ==\n";
-  Table bysize(headers);
-  for (int grid : {512, 2048, 8192, 32768}) {
-    add_timing_row(bysize, std::to_string(grid),
-                   apps::measure_jacobi_rescale(grid, 32, 16));
+  Table& bysize = rep.add_table(
+      "fig5c_by_size",
+      "Figure 5c: shrink 32 -> 16; x = grid size (one dimension)", headers);
+  for (int g : {512, 2048, 8192, 32768}) {
+    add_timing_row(bysize, std::to_string(g),
+                   apps::measure_jacobi_rescale(g, 32, 16));
   }
-  std::cout << (csv ? bysize.to_csv() : bysize.to_text()) << "\n";
 
-  std::cout << "Expected shapes: restart grows with replicas; checkpoint and\n"
-               "restore shrink with replicas (fixed problem) and grow with\n"
-               "problem size; restart dominates small problems.\n";
-  return 0;
+  rep.note(
+      "Expected shapes: restart grows with replicas; checkpoint and restore\n"
+      "shrink with replicas (fixed problem) and grow with problem size;\n"
+      "restart dominates small problems.");
 }
+
+const bench::RegisterBench kReg{{
+    "fig5_rescale_overhead",
+    "Figure 5: rescaling stage contributions (LB, checkpoint, restart, restore)",
+    {{"grid", "8192", "Jacobi grid dimension for 5a/5b"}},
+    {},
+    run}};
+
+}  // namespace

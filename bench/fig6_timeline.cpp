@@ -3,26 +3,22 @@
 //   Fig 6a: time taken by each consecutive 10-iteration window.
 //   Fig 6b: timestamp at which every 10th iteration completes (the rescale
 //           gaps appear as jumps; the slope change shows the speed change).
-//
-// Usage: fig6_timeline [iters=3000] [shrink_at=1000] [expand_at=2000]
-//                      [sample=10] [csv=false]
-
-#include <iostream>
 
 #include "apps/calibration.hpp"
 #include "apps/jacobi2d.hpp"
+#include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 
 using namespace ehpc;
 
-int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+namespace {
+
+void run(bench::Reporter& rep, const Config& cfg) {
   const int iters = cfg.get_int("iters", 3000);
   const int shrink_at = cfg.get_int("shrink_at", 1000);
   const int expand_at = cfg.get_int("expand_at", 2000);
   const int sample = cfg.get_int("sample", 10);
-  const bool csv = cfg.get_bool("csv", false);
 
   charm::RuntimeConfig rc;
   rc.num_pes = 32;
@@ -36,27 +32,32 @@ int main(int argc, char** argv) {
   rt.run();
 
   const auto& times = app.driver().iteration_end_times();
-  std::cout << "== Figure 6a/6b: per-" << sample
-            << "-iteration window time and completion timestamps ==\n";
-  Table table({"iteration", "window_time_s", "timestamp_s"});
+  Table& timeline = rep.add_table(
+      "fig6_timeline",
+      "Figure 6a/6b: per-" + std::to_string(sample) +
+          "-iteration window time and completion timestamps",
+      {"iteration", "window_time_s", "timestamp_s"});
   for (std::size_t i = static_cast<std::size_t>(sample); i < times.size();
        i += static_cast<std::size_t>(sample)) {
-    table.add_row({std::to_string(i),
-                   format_double(times[i] - times[i - static_cast<std::size_t>(sample)], 4),
-                   format_double(times[i], 2)});
+    timeline.add_row(
+        {std::to_string(i),
+         format_double(times[i] - times[i - static_cast<std::size_t>(sample)], 4),
+         format_double(times[i], 2)});
   }
-  std::cout << (csv ? table.to_csv() : table.to_text()) << "\n";
 
-  std::cout << "== Rescale events ==\n";
+  Table& events = rep.add_table(
+      "fig6_rescale_events", "Rescale events",
+      {"direction", "old_pes", "new_pes", "load_balance_s", "checkpoint_s",
+       "restart_s", "restore_s", "total_s"});
   for (const auto& t : rt.rescale_history()) {
-    std::cout << (t.direction == charm::RescaleDirection::kShrink ? "shrink"
-                                                                  : "expand")
-              << " " << t.old_pes << " -> " << t.new_pes
-              << ": lb=" << format_double(t.load_balance_s, 3)
-              << "s ckpt=" << format_double(t.checkpoint_s, 3)
-              << "s restart=" << format_double(t.restart_s, 3)
-              << "s restore=" << format_double(t.restore_s, 3)
-              << "s total=" << format_double(t.total(), 3) << "s\n";
+    events.add_row({t.direction == charm::RescaleDirection::kShrink ? "shrink"
+                                                                    : "expand",
+                    std::to_string(t.old_pes), std::to_string(t.new_pes),
+                    format_double(t.load_balance_s, 3),
+                    format_double(t.checkpoint_s, 3),
+                    format_double(t.restart_s, 3),
+                    format_double(t.restore_s, 3),
+                    format_double(t.total(), 3)});
   }
 
   // Steady-state window times in the three regimes.
@@ -64,10 +65,21 @@ int main(int argc, char** argv) {
     return times[static_cast<std::size_t>(iter)] -
            times[static_cast<std::size_t>(iter - sample)];
   };
-  std::cout << "\nWindow time before shrink: "
-            << format_double(window_at(shrink_at - sample), 4)
-            << "s, while shrunk: " << format_double(window_at(expand_at - sample), 4)
-            << "s, after expand: " << format_double(window_at(iters - sample), 4)
-            << "s\n";
-  return 0;
+  rep.note("Window time before shrink: " +
+           format_double(window_at(shrink_at - sample), 4) +
+           "s, while shrunk: " + format_double(window_at(expand_at - sample), 4) +
+           "s, after expand: " + format_double(window_at(iters - sample), 4) +
+           "s");
 }
+
+const bench::RegisterBench kReg{{
+    "fig6_timeline",
+    "Figure 6: Jacobi2D 16384^2 timeline with a 32->16 shrink and 16->32 expand",
+    {{"iters", "3000", "total iterations"},
+     {"shrink_at", "1000", "iteration of the 32->16 shrink"},
+     {"expand_at", "2000", "iteration of the 16->32 expand"},
+     {"sample", "10", "window size in iterations"}},
+    {{"iters", "600"}, {"shrink_at", "200"}, {"expand_at", "400"}},
+    run}};
+
+}  // namespace

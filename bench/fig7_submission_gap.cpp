@@ -2,12 +2,10 @@
 // 16 random jobs (4 size classes, priorities 1-5), T_rescale_gap = 180 s,
 // submission gap swept 0..300 s; four metrics for the four policies,
 // averaged over `repeats` random mixes.
-//
-// Usage: fig7_submission_gap [repeats=100] [seed=2025] [calibrated=true]
-//                            [csv=false]
 
-#include <iostream>
+#include <tuple>
 
+#include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "schedsim/sweeps.hpp"
@@ -15,30 +13,34 @@
 using namespace ehpc;
 using elastic::PolicyMode;
 
-int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+namespace {
+
+void run(bench::Reporter& rep, const Config& cfg) {
   schedsim::ExperimentParams params;
   params.repeats = cfg.get_int("repeats", 100);
   params.seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
   params.calibrated = cfg.get_bool("calibrated", true);
   params.rescale_gap_s = 180.0;
-  const bool csv = cfg.get_bool("csv", false);
 
   const std::vector<double> gaps{0, 30, 60, 90, 120, 180, 240, 300};
   const auto points = schedsim::sweep_submission_gap(params, gaps);
 
-  const std::vector<std::pair<std::string,
-                              double elastic::RunMetrics::*>>
-      metrics{{"Figure 7a: cluster utilization", &elastic::RunMetrics::utilization},
-              {"Figure 7b: total time (s)", &elastic::RunMetrics::total_time_s},
-              {"Figure 7c: weighted mean response time (s)",
+  const std::vector<std::tuple<std::string, std::string,
+                               double elastic::RunMetrics::*>>
+      metrics{{"fig7a_utilization", "Figure 7a: cluster utilization",
+               &elastic::RunMetrics::utilization},
+              {"fig7b_total_time", "Figure 7b: total time (s)",
+               &elastic::RunMetrics::total_time_s},
+              {"fig7c_response", "Figure 7c: weighted mean response time (s)",
                &elastic::RunMetrics::weighted_response_s},
-              {"Figure 7d: weighted mean completion time (s)",
+              {"fig7d_completion",
+               "Figure 7d: weighted mean completion time (s)",
                &elastic::RunMetrics::weighted_completion_s}};
 
-  for (const auto& [title, member] : metrics) {
-    std::cout << "== " << title << " vs submission gap ==\n";
-    Table table({"gap_s", "elastic", "moldable", "min_replicas", "max_replicas"});
+  for (const auto& [id, title, member] : metrics) {
+    Table& table = rep.add_table(
+        id, title + " vs submission gap",
+        {"gap_s", "elastic", "moldable", "min_replicas", "max_replicas"});
     for (const auto& pt : points) {
       table.add_row(
           {format_double(pt.x, 0),
@@ -47,11 +49,20 @@ int main(int argc, char** argv) {
            format_double(pt.metrics.at(PolicyMode::kRigidMin).*member, 3),
            format_double(pt.metrics.at(PolicyMode::kRigidMax).*member, 3)});
     }
-    std::cout << (csv ? table.to_csv() : table.to_text()) << "\n";
   }
-  std::cout << "(" << params.repeats << " random mixes per point, seed "
-            << params.seed << ", "
-            << (params.calibrated ? "minicharm-calibrated" : "analytic")
-            << " step-time curves)\n";
-  return 0;
+  rep.note("(" + std::to_string(params.repeats) + " random mixes per point, seed " +
+           std::to_string(params.seed) + ", " +
+           (params.calibrated ? "minicharm-calibrated" : "analytic") +
+           " step-time curves)");
 }
+
+const bench::RegisterBench kReg{{
+    "fig7_submission_gap",
+    "Figure 7: scheduler metrics vs job submission gap (four policies)",
+    {{"repeats", "100", "random job mixes per sweep point"},
+     {"seed", "2025", "base RNG seed"},
+     {"calibrated", "true", "use minicharm-calibrated step-time curves"}},
+    {{"repeats", "10"}},
+    run}};
+
+}  // namespace

@@ -8,12 +8,10 @@
 // phenomenology (falling utilization, rising total time, convergence to
 // moldable) is fully visible there. Pass submission_gap=180 for the paper's
 // literal setting.
-//
-// Usage: fig8_rescale_gap [repeats=100] [seed=2025] [calibrated=true]
-//                         [submission_gap=90] [csv=false]
 
-#include <iostream>
+#include <tuple>
 
+#include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "schedsim/sweeps.hpp"
@@ -21,30 +19,35 @@
 using namespace ehpc;
 using elastic::PolicyMode;
 
-int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+namespace {
+
+void run(bench::Reporter& rep, const Config& cfg) {
   schedsim::ExperimentParams params;
   params.repeats = cfg.get_int("repeats", 100);
   params.seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
   params.calibrated = cfg.get_bool("calibrated", true);
   params.submission_gap_s = cfg.get_double("submission_gap", 90.0);
-  const bool csv = cfg.get_bool("csv", false);
 
   const std::vector<double> gaps{0, 60, 120, 180, 300, 600, 900, 1200};
   const auto points = schedsim::sweep_rescale_gap(params, gaps);
 
-  const std::vector<std::pair<std::string, double elastic::RunMetrics::*>>
-      metrics{{"Figure 8a: cluster utilization", &elastic::RunMetrics::utilization},
-              {"Figure 8b: total time (s)", &elastic::RunMetrics::total_time_s},
-              {"Figure 8c: weighted mean response time (s)",
+  const std::vector<std::tuple<std::string, std::string,
+                               double elastic::RunMetrics::*>>
+      metrics{{"fig8a_utilization", "Figure 8a: cluster utilization",
+               &elastic::RunMetrics::utilization},
+              {"fig8b_total_time", "Figure 8b: total time (s)",
+               &elastic::RunMetrics::total_time_s},
+              {"fig8c_response", "Figure 8c: weighted mean response time (s)",
                &elastic::RunMetrics::weighted_response_s},
-              {"Figure 8d: weighted mean completion time (s)",
+              {"fig8d_completion",
+               "Figure 8d: weighted mean completion time (s)",
                &elastic::RunMetrics::weighted_completion_s}};
 
-  for (const auto& [title, member] : metrics) {
-    std::cout << "== " << title << " vs T_rescale_gap ==\n";
-    Table table({"rescale_gap_s", "elastic", "moldable", "min_replicas",
-                 "max_replicas"});
+  for (const auto& [id, title, member] : metrics) {
+    Table& table = rep.add_table(
+        id, title + " vs T_rescale_gap",
+        {"rescale_gap_s", "elastic", "moldable", "min_replicas",
+         "max_replicas"});
     for (const auto& pt : points) {
       table.add_row(
           {format_double(pt.x, 0),
@@ -53,9 +56,21 @@ int main(int argc, char** argv) {
            format_double(pt.metrics.at(PolicyMode::kRigidMin).*member, 3),
            format_double(pt.metrics.at(PolicyMode::kRigidMax).*member, 3)});
     }
-    std::cout << (csv ? table.to_csv() : table.to_text()) << "\n";
   }
-  std::cout << "(" << params.repeats << " random mixes per point, submission gap "
-            << params.submission_gap_s << " s; elastic -> moldable as the gap grows)\n";
-  return 0;
+  rep.note("(" + std::to_string(params.repeats) +
+           " random mixes per point, submission gap " +
+           format_double(params.submission_gap_s, 0) +
+           " s; elastic -> moldable as the gap grows)");
 }
+
+const bench::RegisterBench kReg{{
+    "fig8_rescale_gap",
+    "Figure 8: scheduler metrics vs T_rescale_gap (elastic converges to moldable)",
+    {{"repeats", "100", "random job mixes per sweep point"},
+     {"seed", "2025", "base RNG seed"},
+     {"calibrated", "true", "use minicharm-calibrated step-time curves"},
+     {"submission_gap", "90", "fixed submission gap in seconds"}},
+    {{"repeats", "10"}},
+    run}};
+
+}  // namespace

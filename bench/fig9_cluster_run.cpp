@@ -6,13 +6,11 @@
 // The run includes every operator-level overhead the simulator ignores
 // (scheduling latency, pod startup, reconcile latency, the shrink/expand
 // handshake), exactly like the paper's EKS experiment.
-//
-// Usage: fig9_cluster_run [seed=2025] [gap=90] [rescale_gap=180]
-//                         [bucket=60] [calibrated=true]
 
 #include <algorithm>
-#include <iostream>
+#include <map>
 
+#include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "opk/experiment.hpp"
@@ -21,8 +19,9 @@
 using namespace ehpc;
 using elastic::PolicyMode;
 
-int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+namespace {
+
+void run(bench::Reporter& rep, const Config& cfg) {
   const unsigned seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
   const double gap = cfg.get_double("gap", 90.0);
   const double rescale_gap = cfg.get_double("rescale_gap", 180.0);
@@ -44,12 +43,14 @@ int main(int argc, char** argv) {
     results.emplace(mode, exp.run(mix));
   }
 
-  std::cout << "== Figure 9a: cluster utilization profiles (bucketed averages) ==\n";
   double horizon = 0.0;
   for (const auto& [mode, res] : results) {
     horizon = std::max(horizon, res.metrics.total_time_s);
   }
-  Table profile({"t_s", "min_replicas", "max_replicas", "moldable", "elastic"});
+  Table& profile = rep.add_table(
+      "fig9a_util_profile",
+      "Figure 9a: cluster utilization profiles (bucketed averages)",
+      {"t_s", "min_replicas", "max_replicas", "moldable", "elastic"});
   for (double t = 0.0; t < horizon; t += bucket) {
     auto cell = [&](PolicyMode mode) {
       return format_double(
@@ -59,7 +60,6 @@ int main(int argc, char** argv) {
                      cell(PolicyMode::kRigidMax), cell(PolicyMode::kMoldable),
                      cell(PolicyMode::kElastic)});
   }
-  std::cout << profile.to_text() << "\n";
 
   // Fig 9b: the xlarge job that rescaled the most under elastic; if no
   // xlarge rescaled in this mix, fall back to the most-rescaled job overall.
@@ -88,21 +88,24 @@ int main(int argc, char** argv) {
     }
   }
   if (best_job >= 0) {
-    std::cout << "== Figure 9b: replica evolution of " << best_class
-              << " job " << best_job << " (elastic) ==\n";
-    Table evolution({"timestamp_s", "replicas"});
+    Table& evolution = rep.add_table(
+        "fig9b_replica_evolution",
+        "Figure 9b: replica evolution of " + best_class + " job " +
+            std::to_string(best_job) + " (elastic)",
+        {"timestamp_s", "replicas"});
     for (const auto& [t, v] :
          elastic_run.trace.series("job." + std::to_string(best_job) + ".replicas")) {
       evolution.add_row({format_double(t, 1), format_double(v, 0)});
     }
-    std::cout << evolution.to_text() << "\n";
   } else {
-    std::cout << "(no xlarge job in this mix; rerun with another seed)\n";
+    rep.note("(no xlarge job in this mix; rerun with another seed)");
   }
 
-  std::cout << "== Per-policy metrics for this run (the 'Actual' flavour) ==\n";
-  Table metrics({"scheduler", "total_time_s", "utilization",
-                 "w_mean_response_s", "w_mean_completion_s", "rescales"});
+  Table& metrics = rep.add_table(
+      "fig9_policy_metrics",
+      "Per-policy metrics for this run (the 'Actual' flavour)",
+      {"scheduler", "total_time_s", "utilization", "w_mean_response_s",
+       "w_mean_completion_s", "rescales"});
   for (auto mode : {PolicyMode::kRigidMin, PolicyMode::kRigidMax,
                     PolicyMode::kMoldable, PolicyMode::kElastic}) {
     const auto& m = results.at(mode).metrics;
@@ -112,6 +115,17 @@ int main(int argc, char** argv) {
                      format_double(m.weighted_completion_s, 2),
                      std::to_string(results.at(mode).rescale_count)});
   }
-  std::cout << metrics.to_text();
-  return 0;
 }
+
+const bench::RegisterBench kReg{{
+    "fig9_cluster_run",
+    "Figure 9: one job set on the k8s substrate under all four policies",
+    {{"seed", "2025", "job mix RNG seed"},
+     {"gap", "90", "submission gap in seconds"},
+     {"rescale_gap", "180", "T_rescale_gap in seconds"},
+     {"bucket", "60", "utilization-profile bucket width in seconds"},
+     {"calibrated", "true", "use minicharm-calibrated step-time curves"}},
+    {},
+    run}};
+
+}  // namespace

@@ -1,0 +1,240 @@
+#include "bench/lib/compare.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "bench/lib/json.hpp"
+
+namespace ehpc::bench {
+
+namespace {
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::optional<double> parse_number(const std::string& cell) {
+  if (cell.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) return std::nullopt;
+  return value;
+}
+
+bool within_tolerance(double a, double b, const CompareOptions& options) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= std::max(options.abs_tol, options.rel_tol * scale);
+}
+
+/// Find the summary entry of bench `name` in a summary document.
+const Json* find_bench(const Json& summary, const std::string& name) {
+  for (const auto& entry : summary.at("benches").elements()) {
+    if (entry.at("bench").as_string() == name) return &entry;
+  }
+  return nullptr;
+}
+
+const Json* find_table(const Json& bench_entry, const std::string& table) {
+  for (const auto& entry : bench_entry.at("tables").elements()) {
+    if (entry.at("table").as_string() == table) return &entry;
+  }
+  return nullptr;
+}
+
+std::string config_to_string(const Json& config) {
+  std::string out;
+  for (const auto& [key, value] : config.members()) {
+    if (!out.empty()) out += ' ';
+    out += key + "=" + value.as_string();
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+}  // namespace
+
+std::string CompareReport::to_text() const {
+  std::ostringstream out;
+  for (const auto& m : mismatches) {
+    out << "MISMATCH " << m.bench;
+    if (!m.table.empty()) out << "/" << m.table;
+    out << ": " << m.detail << "\n";
+  }
+  out << (ok() ? "OK" : "FAIL") << ": " << benches_compared << " benches, "
+      << tables_compared << " tables, " << cells_compared
+      << " cells compared, " << mismatches.size() << " mismatches\n";
+  return out.str();
+}
+
+std::vector<std::string> compare_tables(const Table& baseline,
+                                        const Table& candidate,
+                                        const CompareOptions& options) {
+  std::vector<std::string> issues;
+  if (baseline.header() != candidate.header()) {
+    issues.push_back("header changed");
+    return issues;
+  }
+  if (baseline.rows() != candidate.rows()) {
+    issues.push_back("row count " + std::to_string(baseline.rows()) + " vs " +
+                     std::to_string(candidate.rows()));
+    return issues;
+  }
+  if (!options.values) return issues;
+
+  for (std::size_t r = 0; r < baseline.rows(); ++r) {
+    const auto& brow = baseline.row(r);
+    const auto& crow = candidate.row(r);
+    for (std::size_t c = 0; c < brow.size(); ++c) {
+      const auto bnum = parse_number(brow[c]);
+      const auto cnum = parse_number(crow[c]);
+      bool equal;
+      if (bnum && cnum) {
+        equal = within_tolerance(*bnum, *cnum, options);
+      } else {
+        equal = brow[c] == crow[c];
+      }
+      if (!equal) {
+        issues.push_back("row " + std::to_string(r) + " col '" +
+                         baseline.header()[c] + "': " + brow[c] + " vs " +
+                         crow[c]);
+      }
+    }
+  }
+  return issues;
+}
+
+CompareReport compare_dirs(const std::string& baseline_dir,
+                           const std::string& candidate_dir,
+                           const CompareOptions& options) {
+  namespace fs = std::filesystem;
+  CompareReport report;
+
+  auto load_summary = [&](const std::string& dir) -> std::optional<Json> {
+    const auto text = read_file(fs::path(dir) / "summary.json");
+    if (!text) {
+      report.mismatches.push_back(
+          {dir, "", "cannot read " + dir + "/summary.json"});
+      return std::nullopt;
+    }
+    try {
+      return Json::parse(*text);
+    } catch (const JsonError& err) {
+      report.mismatches.push_back({dir, "", err.what()});
+      return std::nullopt;
+    }
+  };
+
+  const auto base = load_summary(baseline_dir);
+  const auto cand = load_summary(candidate_dir);
+  if (!base || !cand) return report;
+
+  if (base->at("profile").as_string() != cand->at("profile").as_string()) {
+    report.mismatches.push_back(
+        {"summary", "",
+         "profile '" + base->at("profile").as_string() + "' vs '" +
+             cand->at("profile").as_string() + "'"});
+  }
+
+  for (const auto& bbench : base->at("benches").elements()) {
+    const std::string name = bbench.at("bench").as_string();
+    const Json* cbench = find_bench(*cand, name);
+    if (!cbench) {
+      report.mismatches.push_back({name, "", "bench missing from candidate"});
+      continue;
+    }
+    ++report.benches_compared;
+
+    const std::string bcfg = config_to_string(bbench.at("config"));
+    const std::string ccfg = config_to_string(cbench->at("config"));
+    if (bcfg != ccfg) {
+      report.mismatches.push_back(
+          {name, "", "config changed: " + bcfg + " vs " + ccfg});
+    }
+
+    if (options.compare_wall) {
+      const double bwall = bbench.at("wall_ms").as_number();
+      const double cwall = cbench->at("wall_ms").as_number();
+      const double scale = std::max(std::fabs(bwall), std::fabs(cwall));
+      if (std::fabs(bwall - cwall) > options.wall_rel_tol * scale) {
+        report.mismatches.push_back(
+            {name, "",
+             "wall_ms " + std::to_string(bwall) + " vs " +
+                 std::to_string(cwall)});
+      }
+    }
+
+    for (const auto& btable : bbench.at("tables").elements()) {
+      const std::string table = btable.at("table").as_string();
+      const Json* ctable = find_table(*cbench, table);
+      if (!ctable) {
+        report.mismatches.push_back({name, table, "table missing from candidate"});
+        continue;
+      }
+      ++report.tables_compared;
+
+      const auto brows = btable.at("rows").as_number();
+      const auto crows = ctable->at("rows").as_number();
+      const auto bcols = btable.at("cols").as_number();
+      const auto ccols = ctable->at("cols").as_number();
+      if (brows != crows || bcols != ccols) {
+        report.mismatches.push_back(
+            {name, table,
+             "shape " + format_double(brows, 0) + "x" + format_double(bcols, 0) +
+                 " vs " + format_double(crows, 0) + "x" +
+                 format_double(ccols, 0)});
+        continue;
+      }
+      if (!options.values) continue;
+
+      const auto bcsv =
+          read_file(fs::path(baseline_dir) / btable.at("csv").as_string());
+      const auto ccsv =
+          read_file(fs::path(candidate_dir) / ctable->at("csv").as_string());
+      if (!bcsv || !ccsv) {
+        report.mismatches.push_back({name, table, "csv file missing on disk"});
+        continue;
+      }
+      Table btab({"?"}), ctab({"?"});
+      try {
+        btab = parse_csv(*bcsv);
+        ctab = parse_csv(*ccsv);
+      } catch (const std::exception& err) {
+        report.mismatches.push_back(
+            {name, table, std::string("cannot parse csv: ") + err.what()});
+        continue;
+      }
+      report.cells_compared +=
+          static_cast<int>(btab.rows() * btab.columns());
+      for (const auto& issue : compare_tables(btab, ctab, options)) {
+        report.mismatches.push_back({name, table, issue});
+      }
+    }
+
+    // A table added without regenerating the baseline is drift too.
+    for (const auto& ctable : cbench->at("tables").elements()) {
+      if (!find_table(bbench, ctable.at("table").as_string())) {
+        report.mismatches.push_back({name, ctable.at("table").as_string(),
+                                     "table missing from baseline"});
+      }
+    }
+  }
+
+  for (const auto& cbench : cand->at("benches").elements()) {
+    if (!find_bench(*base, cbench.at("bench").as_string())) {
+      report.mismatches.push_back({cbench.at("bench").as_string(), "",
+                                   "bench missing from baseline"});
+    }
+  }
+
+  return report;
+}
+
+}  // namespace ehpc::bench

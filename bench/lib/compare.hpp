@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace ehpc::bench {
+
+/// Tolerances for diffing two baseline directories.
+struct CompareOptions {
+  /// When false, only the shape is checked: bench/table presence, row and
+  /// column counts, and recorded configs — never cell values. This is the
+  /// CI mode: immune to timing and floating-point noise, still catches any
+  /// bench that gains/loses tables or rows.
+  bool values = true;
+  /// A numeric cell passes when |a-b| <= max(abs_tol, rel_tol * max(|a|,|b|)).
+  double rel_tol = 0.05;
+  double abs_tol = 1e-9;
+  /// Wall-clock is noise between machines; opt in to compare it, loosely.
+  bool compare_wall = false;
+  double wall_rel_tol = 0.5;
+};
+
+struct Mismatch {
+  std::string bench;
+  std::string table;  // empty for bench-level mismatches
+  std::string detail;
+};
+
+struct CompareReport {
+  std::vector<Mismatch> mismatches;
+  int benches_compared = 0;
+  int tables_compared = 0;
+  int cells_compared = 0;
+
+  bool ok() const { return mismatches.empty(); }
+  std::string to_text() const;
+};
+
+/// Cell-level diff of two tables with the same meaning (baseline vs
+/// candidate). Returns human-readable issue strings; empty means equal
+/// within tolerance. Cells that parse as numbers use the numeric tolerance;
+/// anything else must match exactly.
+std::vector<std::string> compare_tables(const Table& baseline,
+                                        const Table& candidate,
+                                        const CompareOptions& options);
+
+/// Diff two baseline directories produced by write_outputs(): reads both
+/// summary.json files, matches benches and tables by name, checks shapes,
+/// configs, and (unless options.values is false) every CSV cell.
+CompareReport compare_dirs(const std::string& baseline_dir,
+                           const std::string& candidate_dir,
+                           const CompareOptions& options);
+
+}  // namespace ehpc::bench

@@ -1,0 +1,309 @@
+#include "bench/lib/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ehpc::bench {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* kNames[] = {"null", "bool", "number", "string", "array",
+                                 "object"};
+  throw JsonError(std::string("json: expected ") + want + ", value is " +
+                  kNames[static_cast<int>(got)]);
+}
+
+void escape_to(const std::string& s, std::string& out) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string number_to_string(double n) {
+  if (std::fabs(n) < 1e15 && n == static_cast<long long>(n)) {
+    return std::to_string(static_cast<long long>(n));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", n);
+  return buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  Json parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const char ch = text_[pos_];
+    switch (ch) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't': expect_word("true"); return Json(true);
+      case 'f': expect_word("false"); return Json(false);
+      case 'n': expect_word("null"); return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') { ++pos_; return obj; }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      if (peek() != ':') fail("expected ':' after object key");
+      ++pos_;
+      obj[key] = parse_value();
+      skip_ws();
+      const char next = peek();
+      if (next == ',') { ++pos_; continue; }
+      if (next == '}') { ++pos_; return obj; }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') { ++pos_; return arr; }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char next = peek();
+      if (next == ',') { ++pos_; continue; }
+      if (next == ']') { ++pos_; return arr; }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+            // not produced by our own dump()).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape sequence");
+        }
+      } else {
+        out += ch;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    return Json(value);
+  }
+
+  void expect_word(const char* word) {
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("invalid literal");
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("json parse error at offset " + std::to_string(pos_) +
+                    ": " + what);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+void Json::push_back(Json value) {
+  if (type_ != Type::kArray) type_error("array", type_);
+  array_.push_back(std::move(value));
+}
+
+const std::vector<Json>& Json::elements() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  object_.emplace_back(key, Json());
+  return object_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* found = find(key);
+  if (!found) throw JsonError("json: missing key '" + key + "'");
+  return *found;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad(pretty ? static_cast<std::size_t>(indent * (depth + 1))
+                               : 0,
+                        ' ');
+  const std::string close_pad(
+      pretty ? static_cast<std::size_t>(indent * depth) : 0, ' ');
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: out += number_to_string(number_); break;
+    case Type::kString: escape_to(string_, out); break;
+    case Type::kArray: {
+      if (array_.empty()) { out += "[]"; break; }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        if (pretty) { out += '\n'; out += pad; }
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (pretty) { out += '\n'; out += close_pad; }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) { out += "{}"; break; }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        if (pretty) { out += '\n'; out += pad; }
+        escape_to(object_[i].first, out);
+        out += pretty ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (pretty) { out += '\n'; out += close_pad; }
+      out += '}';
+      break;
+    }
+  }
+}
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace ehpc::bench

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ehpc::bench {
+
+/// Thrown by Json::parse on malformed input and by typed accessors on a
+/// type mismatch.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Small self-contained JSON value: null, bool, number, string, array and
+/// (insertion-ordered) object. Just enough for the bench summary files —
+/// no external dependency, round-trips through dump()/parse().
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int n) : type_(Type::kNumber), number_(n) {}
+  Json(double n) : type_(Type::kNumber), number_(n) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Json array() { return Json(Type::kArray); }
+  static Json object() { return Json(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  void push_back(Json value);
+  const std::vector<Json>& elements() const;
+
+  /// Object access. operator[] inserts a null member if absent.
+  Json& operator[](const std::string& key);
+  const Json* find(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Serialise; indent < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document; throws JsonError with position info.
+  static Json parse(const std::string& text);
+
+ private:
+  explicit Json(Type type) : type_(type) {}
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace ehpc::bench

@@ -1,0 +1,108 @@
+#include "bench/lib/reporter.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace ehpc::bench {
+
+namespace {
+
+bool file_safe(const std::string& id) {
+  if (id.empty()) return false;
+  for (char ch : id) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Reporter::Reporter(std::string bench_name) : name_(std::move(bench_name)) {
+  EHPC_EXPECTS(file_safe(name_));
+}
+
+Table& Reporter::add_table(const std::string& id, const std::string& title,
+                           std::vector<std::string> headers) {
+  EHPC_EXPECTS(file_safe(id));
+  EHPC_EXPECTS(find(id) == nullptr);
+  entries_.push_back(Entry{id, title, Table(std::move(headers))});
+  return entries_.back().table;
+}
+
+void Reporter::note(std::string text) { notes_.push_back(std::move(text)); }
+
+void Reporter::set_config(std::map<std::string, std::string> config) {
+  config_ = std::move(config);
+}
+
+const Reporter::Entry* Reporter::find(const std::string& id) const {
+  for (const auto& entry : entries_) {
+    if (entry.id == id) return &entry;
+  }
+  return nullptr;
+}
+
+std::string Reporter::to_text() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    out += "== " + entry.title + " ==\n";
+    out += entry.table.to_text();
+    out += '\n';
+  }
+  for (const auto& line : notes_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Reporter::to_csv() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    out += "# table: " + entry.id + "\n";
+    out += entry.table.to_csv();
+  }
+  return out;
+}
+
+void Reporter::write_csvs(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  const fs::path bench_dir = fs::path(dir) / name_;
+  // This directory is owned by the bench: clear it so renamed or removed
+  // tables don't leave stale CSVs behind when a baseline is regenerated.
+  fs::remove_all(bench_dir);
+  fs::create_directories(bench_dir);
+  for (const auto& entry : entries_) {
+    const fs::path path = bench_dir / (entry.id + ".csv");
+    std::ofstream out(path);
+    EHPC_EXPECTS(out.good());
+    out << entry.table.to_csv();
+    EHPC_ENSURES(out.good());
+  }
+}
+
+Json Reporter::summary_json() const {
+  Json entry = Json::object();
+  entry["bench"] = Json(name_);
+  entry["wall_ms"] = Json(wall_ms_);
+  Json config = Json::object();
+  for (const auto& [key, value] : config_) config[key] = Json(value);
+  entry["config"] = std::move(config);
+  Json tables = Json::array();
+  for (const auto& e : entries_) {
+    Json t = Json::object();
+    t["table"] = Json(e.id);
+    t["rows"] = Json(static_cast<double>(e.table.rows()));
+    t["cols"] = Json(static_cast<double>(e.table.columns()));
+    t["csv"] = Json(name_ + "/" + e.id + ".csv");
+    tables.push_back(std::move(t));
+  }
+  entry["tables"] = std::move(tables);
+  return entry;
+}
+
+}  // namespace ehpc::bench

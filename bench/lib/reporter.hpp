@@ -1,0 +1,71 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/lib/json.hpp"
+#include "common/table.hpp"
+
+namespace ehpc::bench {
+
+/// Collects the named result tables, free-form notes, wall-clock timing and
+/// effective configuration of one bench run. Drivers build their figures into
+/// a Reporter; the harness renders it as text, concatenated CSV, per-table
+/// CSV files, or a JSON summary entry — all views of the same data.
+class Reporter {
+ public:
+  explicit Reporter(std::string bench_name);
+
+  const std::string& name() const { return name_; }
+
+  /// Register a result table. `id` must be a file-safe slug (it becomes
+  /// `<bench>/<id>.csv`); `title` is the human heading printed in text mode.
+  /// The returned reference stays valid for the Reporter's lifetime.
+  Table& add_table(const std::string& id, const std::string& title,
+                   std::vector<std::string> headers);
+
+  /// Append a free-form line shown after the tables in text mode (shape
+  /// commentary, derived speedups, ...). Not part of the CSV/JSON output.
+  void note(std::string text);
+
+  void set_wall_ms(double wall_ms) { wall_ms_ = wall_ms; }
+  double wall_ms() const { return wall_ms_; }
+
+  /// Record the effective key=value configuration of this run.
+  void set_config(std::map<std::string, std::string> config);
+  const std::map<std::string, std::string>& config() const { return config_; }
+
+  struct Entry {
+    std::string id;
+    std::string title;
+    Table table;
+  };
+  // deque: Table references handed out by add_table stay valid as more
+  // tables are registered.
+  const std::deque<Entry>& entries() const { return entries_; }
+  const Entry* find(const std::string& id) const;
+  const std::vector<std::string>& notes() const { return notes_; }
+
+  /// Human-readable rendering: "== title ==" headings, aligned tables, notes.
+  std::string to_text() const;
+
+  /// All tables as CSV, each preceded by a `# table: <id>` comment line.
+  std::string to_csv() const;
+
+  /// Write one `<dir>/<bench>/<id>.csv` per table; creates directories.
+  void write_csvs(const std::string& dir) const;
+
+  /// Summary entry: {bench, wall_ms, config, tables:[{table, rows, cols, csv}]}.
+  Json summary_json() const;
+
+ private:
+  std::string name_;
+  double wall_ms_ = 0.0;
+  std::map<std::string, std::string> config_;
+  std::deque<Entry> entries_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace ehpc::bench

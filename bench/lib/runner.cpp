@@ -1,0 +1,184 @@
+#include "bench/lib/runner.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "bench/lib/timer.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace ehpc::bench {
+
+namespace {
+
+const char* const kCommonFlagsHelp =
+    "  csv=false         print tables as CSV instead of aligned text\n"
+    "  out_dir=DIR       also write per-table CSV files and summary.json\n"
+    "  quick=false       apply the CI-sized quick profile (--quick works too)\n";
+
+void reject_positional(const Config& cfg) {
+  if (cfg.positional().empty()) return;
+  throw ConfigError("unexpected positional argument '" +
+                    cfg.positional().front() +
+                    "'; all options take the form key=value");
+}
+
+}  // namespace
+
+std::vector<std::string> allowed_keys(const BenchDef& def) {
+  std::vector<std::string> keys;
+  keys.reserve(def.flags.size() + 3);
+  for (const auto& flag : def.flags) keys.push_back(flag.key);
+  keys.push_back("csv");
+  keys.push_back("out_dir");
+  keys.push_back("quick");
+  return keys;
+}
+
+std::string usage(const BenchDef& def) {
+  std::string out = "usage: " + def.name + " [key=value ...]\n";
+  out += def.description + "\n\nflags:\n";
+  for (const auto& flag : def.flags) {
+    std::string line = "  " + flag.key + "=" + flag.default_value;
+    if (line.size() < 20) line.resize(20, ' ');
+    out += line + "  " + flag.help + "\n";
+  }
+  out += "common flags:\n";
+  out += kCommonFlagsHelp;
+  return out;
+}
+
+Config parse_bench_config(const BenchDef& def, int argc,
+                          const char* const* argv) {
+  Config cfg = Config::from_args(argc, argv, allowed_keys(def));
+  reject_positional(cfg);
+  return cfg;
+}
+
+Reporter run_bench(const BenchDef& def, Config cfg, bool quick) {
+  if (quick) {
+    for (const auto& [key, value] : def.quick_overrides) {
+      if (!cfg.has(key)) cfg.set(key, value);
+    }
+  }
+  for (const auto& flag : def.flags) {
+    if (!cfg.has(flag.key)) cfg.set(flag.key, flag.default_value);
+  }
+
+  std::map<std::string, std::string> effective;
+  for (const auto& flag : def.flags) effective[flag.key] = *cfg.get(flag.key);
+
+  Reporter reporter(def.name);
+  Timer timer;
+  def.fn(reporter, cfg);
+  reporter.set_wall_ms(timer.elapsed_ms());
+  reporter.set_config(std::move(effective));
+  return reporter;
+}
+
+void write_outputs(const std::vector<Reporter>& runs,
+                   const std::string& out_dir, const std::string& profile) {
+  namespace fs = std::filesystem;
+  fs::create_directories(out_dir);
+
+  Json root = Json::object();
+  root["schema_version"] = Json(1);
+  root["profile"] = Json(profile);
+  Json benches = Json::array();
+  for (const auto& run : runs) {
+    run.write_csvs(out_dir);
+    benches.push_back(run.summary_json());
+  }
+  root["benches"] = std::move(benches);
+
+  std::ofstream out(fs::path(out_dir) / "summary.json");
+  EHPC_EXPECTS(out.good());
+  out << root.dump(2);
+  EHPC_ENSURES(out.good());
+}
+
+int standalone_main(int argc, const char* const* argv) {
+  const auto& benches = Registry::instance().benches();
+  EHPC_EXPECTS(benches.size() == 1);
+  const BenchDef& def = benches.front();
+
+  Config cfg;
+  try {
+    cfg = parse_bench_config(def, argc, argv);
+  } catch (const ConfigError& err) {
+    std::cerr << "error: " << err.what() << "\n\n" << usage(def);
+    return 2;
+  }
+
+  const bool quick = cfg.get_bool("quick", false);
+  const Reporter reporter = run_bench(def, cfg, quick);
+  std::cout << (cfg.get_bool("csv", false) ? reporter.to_csv()
+                                           : reporter.to_text());
+  if (auto dir = cfg.get("out_dir")) {
+    write_outputs({reporter}, *dir, quick ? "quick" : "default");
+    std::cout << "wrote " << *dir << "/summary.json\n";
+  }
+  return 0;
+}
+
+int run_all_main(int argc, const char* const* argv) {
+  const std::string usage_text =
+      "usage: bench_run_all [key=value ...]\n"
+      "Run every registered bench and write CSVs + summary.json.\n\nflags:\n"
+      "  out_dir=bench_out  output directory for CSVs and summary.json\n"
+      "  quick=false        CI-sized quick profile (--quick works too)\n"
+      "  only=SUBSTR        run only benches whose name contains SUBSTR\n"
+      "  list=false         list registered benches and exit\n";
+
+  Config cfg;
+  try {
+    cfg = Config::from_args(argc, argv, {"out_dir", "quick", "only", "list"});
+    reject_positional(cfg);
+  } catch (const ConfigError& err) {
+    std::cerr << "error: " << err.what() << "\n\n" << usage_text;
+    return 2;
+  }
+
+  const auto& benches = Registry::instance().benches();
+  if (cfg.get_bool("list", false)) {
+    for (const auto& def : benches) {
+      std::cout << def.name << ": " << def.description << "\n";
+    }
+    return 0;
+  }
+
+  const bool quick = cfg.get_bool("quick", false);
+  const std::string only = cfg.get_or("only", "");
+  const std::string out_dir = cfg.get_or("out_dir", "bench_out");
+
+  std::vector<Reporter> runs;
+  Timer total;
+  for (const auto& def : benches) {
+    if (!only.empty() && def.name.find(only) == std::string::npos) continue;
+    std::cout << "[bench] " << def.name << " ..." << std::flush;
+    try {
+      runs.push_back(run_bench(def, Config(), quick));
+    } catch (const std::exception& err) {
+      std::cout << " FAILED\n";
+      std::cerr << "error: " << def.name << ": " << err.what() << "\n";
+      return 1;
+    }
+    const Reporter& rep = runs.back();
+    std::cout << " " << format_double(rep.wall_ms(), 0) << " ms, "
+              << rep.entries().size() << " tables\n";
+  }
+
+  if (runs.empty()) {
+    std::cerr << "error: no bench matches only=" << only << "\n";
+    return 1;
+  }
+
+  write_outputs(runs, out_dir, quick ? "quick" : "default");
+  std::cout << "wrote " << out_dir << "/summary.json (" << runs.size()
+            << " benches, " << format_double(total.elapsed_ms(), 0)
+            << " ms total)\n";
+  return 0;
+}
+
+}  // namespace ehpc::bench

@@ -1,0 +1,9 @@
+// main() for single-bench driver binaries: each bench_<name> executable
+// compiles its driver .cpp (which self-registers into the Registry) together
+// with this file.
+
+#include "bench/lib/runner.hpp"
+
+int main(int argc, char** argv) {
+  return ehpc::bench::standalone_main(argc, argv);
+}

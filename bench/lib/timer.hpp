@@ -1,0 +1,24 @@
+#pragma once
+
+#include <chrono>
+
+namespace ehpc::bench {
+
+/// Wall-clock stopwatch for bench timings, running from construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ehpc::bench

@@ -1,0 +1,13 @@
+// bench_run_all: run every registered bench (all eight figure/table drivers
+// are linked into this binary) and write CSVs + summary.json to out_dir.
+// `--quick` selects the CI-sized profile used for the committed baselines:
+//
+//   bench_run_all --quick out_dir=bench/baselines/quick
+//
+// See bench_compare for diffing the output against a committed baseline.
+
+#include "bench/lib/runner.hpp"
+
+int main(int argc, char** argv) {
+  return ehpc::bench::run_all_main(argc, argv);
+}

@@ -5,12 +5,11 @@
 //
 // Paper setup: T_rescale_gap = 180 s, submission gap 90 s, one job set
 // picked from the random generator.
-//
-// Usage: table1_policies [seed=2025] [gap=90] [rescale_gap=180]
-//                        [calibrated=true] [csv=false]
 
-#include <iostream>
+#include <map>
+#include <utility>
 
+#include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "opk/experiment.hpp"
@@ -20,22 +19,25 @@
 using namespace ehpc;
 using elastic::PolicyMode;
 
-int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+namespace {
+
+void run(bench::Reporter& rep, const Config& cfg) {
   const unsigned seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
   const double gap = cfg.get_double("gap", 90.0);
   const double rescale_gap = cfg.get_double("rescale_gap", 180.0);
   const bool calibrated = cfg.get_bool("calibrated", true);
-  const bool csv = cfg.get_bool("csv", false);
 
   const auto workloads = calibrated ? schedsim::calibrated_workloads()
                                     : schedsim::analytic_workloads();
   schedsim::JobMixGenerator gen(seed);
   const auto mix = gen.generate(16, gap);
 
-  Table table({"scheduler", "total_actual_s", "total_sim_s", "util_actual",
-               "util_sim", "response_actual_s", "response_sim_s",
-               "completion_actual_s", "completion_sim_s"});
+  Table& table = rep.add_table(
+      "table1",
+      "Table 1: actual (k8s substrate) and simulation results",
+      {"scheduler", "total_actual_s", "total_sim_s", "util_actual", "util_sim",
+       "response_actual_s", "response_sim_s", "completion_actual_s",
+       "completion_sim_s"});
 
   std::map<PolicyMode, std::pair<elastic::RunMetrics, elastic::RunMetrics>> all;
   for (auto mode : {PolicyMode::kRigidMin, PolicyMode::kRigidMax,
@@ -64,10 +66,8 @@ int main(int argc, char** argv) {
                    format_double(simulated.weighted_completion_s, 2)});
   }
 
-  std::cout << "== Table 1: actual (k8s substrate) and simulation results ==\n";
-  std::cout << (csv ? table.to_csv() : table.to_text()) << "\n";
-
   const auto& [ea, es] = all.at(PolicyMode::kElastic);
+  (void)es;
   bool elastic_best = true;
   for (const auto& [mode, pair] : all) {
     if (mode == PolicyMode::kElastic) continue;
@@ -76,7 +76,18 @@ int main(int argc, char** argv) {
       elastic_best = false;
     }
   }
-  std::cout << "Elastic best on total time & utilization (actual): "
-            << (elastic_best ? "yes" : "NO — investigate") << "\n";
-  return 0;
+  rep.note(std::string("Elastic best on total time & utilization (actual): ") +
+           (elastic_best ? "yes" : "NO — investigate"));
 }
+
+const bench::RegisterBench kReg{{
+    "table1_policies",
+    "Table 1: four policies, simulated and actual (k8s substrate) metrics",
+    {{"seed", "2025", "job mix RNG seed"},
+     {"gap", "90", "submission gap in seconds"},
+     {"rescale_gap", "180", "T_rescale_gap in seconds"},
+     {"calibrated", "true", "use minicharm-calibrated step-time curves"}},
+    {},
+    run}};
+
+}  // namespace

@@ -15,7 +15,16 @@
 using namespace ehpc;
 
 int main(int argc, char** argv) {
-  const Config args = Config::from_args(argc, argv);
+  Config args;
+  try {
+    args = Config::from_args(argc, argv,
+                             {"grid", "pes", "iters", "shrink_at", "expand_at"});
+  } catch (const ConfigError& err) {
+    std::cerr << "error: " << err.what() << "\n"
+              << "usage: jacobi_rescale [grid=4096] [pes=16] [iters=60]\n"
+              << "       [shrink_at=20] [expand_at=40]\n";
+    return 2;
+  }
   const int grid = args.get_int("grid", 4096);
   const int pes = args.get_int("pes", 16);
   const int iters = args.get_int("iters", 60);

@@ -56,7 +56,16 @@ std::vector<schedsim::SubmittedJob> load_trace(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+  Config cfg;
+  try {
+    cfg = Config::from_args(argc, argv,
+                            {"seed", "jobs", "gap", "rescale_gap", "trace"});
+  } catch (const ConfigError& err) {
+    std::cerr << "error: " << err.what() << "\n"
+              << "usage: trace_replay [seed=7] [jobs=16] [gap=90]\n"
+              << "       [rescale_gap=180] [trace=path.csv]\n";
+    return 2;
+  }
   std::vector<schedsim::SubmittedJob> mix;
   if (auto trace = cfg.get("trace")) {
     mix = load_trace(*trace);

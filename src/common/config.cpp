@@ -6,18 +6,54 @@
 
 namespace ehpc {
 
+namespace {
+
+std::string normalize_key(std::string key) {
+  std::replace(key.begin(), key.end(), '-', '_');
+  return key;
+}
+
+}  // namespace
+
 Config Config::from_args(int argc, const char* const* argv) {
   Config cfg;
   for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
+    if (token.size() > 2 && token.compare(0, 2, "--") == 0) {
+      token.erase(0, 2);
+      if (token.find('=') == std::string::npos) token += "=true";
+    }
     auto eq = token.find('=');
     if (eq == std::string::npos) {
       cfg.positional_.push_back(std::move(token));
     } else {
-      cfg.values_[token.substr(0, eq)] = token.substr(eq + 1);
+      cfg.values_[normalize_key(token.substr(0, eq))] = token.substr(eq + 1);
     }
   }
   return cfg;
+}
+
+Config Config::from_args(int argc, const char* const* argv,
+                         const std::vector<std::string>& allowed_keys) {
+  Config cfg = from_args(argc, argv);
+  cfg.require_known(allowed_keys);
+  return cfg;
+}
+
+void Config::require_known(const std::vector<std::string>& allowed_keys) const {
+  for (const auto& [key, value] : values_) {
+    if (std::find(allowed_keys.begin(), allowed_keys.end(), key) !=
+        allowed_keys.end()) {
+      continue;
+    }
+    std::string msg = "unknown option '" + key + "'; known options:";
+    if (allowed_keys.empty()) {
+      msg += " (none)";
+    } else {
+      for (const auto& k : allowed_keys) msg += " " + k;
+    }
+    throw ConfigError(msg);
+  }
 }
 
 void Config::set(const std::string& key, std::string value) {

@@ -2,14 +2,25 @@
 
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace ehpc {
 
+/// Thrown by the strict Config parser when the command line contains a key
+/// the program does not declare (e.g. a misspelled bench flag).
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Minimal "key=value" configuration map with typed getters, used by bench
 /// and example binaries to accept overrides from the command line
 /// (e.g. `fig7_submission_gap repeats=20 seed=7`).
+///
+/// GNU-style spellings are normalised: `--out-dir=x` parses as `out_dir=x`
+/// and a bare `--quick` parses as `quick=true`.
 class Config {
  public:
   Config() = default;
@@ -17,6 +28,15 @@ class Config {
   /// Parse `argv`-style tokens of the form key=value; tokens without '=' are
   /// collected as positional arguments.
   static Config from_args(int argc, const char* const* argv);
+
+  /// Strict variant: any parsed key not in `allowed_keys` raises ConfigError
+  /// naming the offending key, so misspelled flags fail loudly instead of
+  /// silently falling back to defaults.
+  static Config from_args(int argc, const char* const* argv,
+                          const std::vector<std::string>& allowed_keys);
+
+  /// Raise ConfigError if this config holds a key outside `allowed_keys`.
+  void require_known(const std::vector<std::string>& allowed_keys) const;
 
   void set(const std::string& key, std::string value);
 
@@ -28,6 +48,9 @@ class Config {
 
   const std::vector<std::string>& positional() const { return positional_; }
   bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// All key=value pairs, ordered by key.
+  const std::map<std::string, std::string>& values() const { return values_; }
 
  private:
   std::map<std::string, std::string> values_;

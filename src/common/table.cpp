@@ -94,6 +94,65 @@ std::ostream& operator<<(std::ostream& os, const Table& table) {
   return os << table.to_text();
 }
 
+Table parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&] {
+    record.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_record = [&] {
+    if (cell_started || !record.empty()) {
+      end_cell();
+      records.push_back(std::move(record));
+      record.clear();
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+      cell_started = true;
+    } else if (ch == ',') {
+      end_cell();
+      cell_started = true;  // a trailing comma still implies one more cell
+    } else if (ch == '\n') {
+      end_record();
+    } else if (ch == '\r') {
+      // swallow CR of CRLF line endings
+    } else {
+      cell += ch;
+      cell_started = true;
+    }
+  }
+  end_record();
+
+  EHPC_EXPECTS(!in_quotes);        // unterminated quoted cell
+  EHPC_EXPECTS(!records.empty());  // need at least a header record
+
+  Table table(records.front());
+  for (std::size_t r = 1; r < records.size(); ++r)
+    table.add_row(std::move(records[r]));
+  return table;
+}
+
 std::string format_double(double value, int precision) {
   std::string s = strformat("%.*f", precision, value);
   if (s.find('.') != std::string::npos) {

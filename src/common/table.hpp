@@ -39,4 +39,9 @@ class Table {
 /// Format a double compactly ("12.3", "0.042"), trimming trailing zeros.
 std::string format_double(double value, int precision = 3);
 
+/// Parse RFC-4180-style CSV text (as produced by Table::to_csv, including
+/// quoted cells) back into a Table. The first record is the header. Throws
+/// PreconditionError on empty input or ragged rows.
+Table parse_csv(const std::string& text);
+
 }  // namespace ehpc

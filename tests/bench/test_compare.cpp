@@ -1,0 +1,223 @@
+#include "bench/lib/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench/lib/runner.hpp"
+
+namespace ehpc::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const std::string& leaf) {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path = fs::temp_directory_path() /
+           (std::string("ehk_cmp_") + info->name() + "_" + leaf);
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  fs::path path;
+};
+
+Reporter make_run(double value, int extra_rows = 0) {
+  Reporter rep("demo");
+  Table& t = rep.add_table("metrics", "Metrics", {"x", "util"});
+  t.add_row({"1", format_double(value, 6)});
+  t.add_row({"2", "0.5"});
+  for (int i = 0; i < extra_rows; ++i) t.add_row({"9", "9"});
+  rep.set_wall_ms(100.0);
+  rep.set_config({{"repeats", "10"}});
+  return rep;
+}
+
+void write_run(const fs::path& dir, const Reporter& rep,
+               const std::string& profile = "quick") {
+  write_outputs({rep}, dir.string(), profile);
+}
+
+TEST(CompareTables, ExactMatchPasses) {
+  Table a({"x", "y"});
+  a.add_row({"1", "2.0"});
+  Table b({"x", "y"});
+  b.add_row({"1", "2.00000001"});
+  EXPECT_TRUE(compare_tables(a, b, CompareOptions{}).empty());
+}
+
+TEST(CompareTables, RelativeToleranceBoundsNumericDrift) {
+  Table a({"v"});
+  a.add_row({"100"});
+  Table b({"v"});
+  b.add_row({"104"});
+  CompareOptions opts;
+  opts.rel_tol = 0.05;
+  EXPECT_TRUE(compare_tables(a, b, opts).empty());
+  opts.rel_tol = 0.01;
+  const auto issues = compare_tables(a, b, opts);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("col 'v'"), std::string::npos);
+}
+
+TEST(CompareTables, NonNumericCellsCompareExactly) {
+  Table a({"policy"});
+  a.add_row({"elastic"});
+  Table b({"policy"});
+  b.add_row({"moldable"});
+  EXPECT_EQ(compare_tables(a, b, CompareOptions{}).size(), 1u);
+}
+
+TEST(CompareTables, HeaderAndRowCountMismatchReported) {
+  Table a({"x", "y"});
+  Table renamed({"x", "z"});
+  EXPECT_EQ(compare_tables(a, renamed, CompareOptions{}).size(), 1u);
+
+  Table b({"x", "y"});
+  b.add_row({"1", "2"});
+  const auto issues = compare_tables(a, b, CompareOptions{});
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("row count"), std::string::npos);
+}
+
+TEST(CompareDirs, IdenticalRunsPass) {
+  TempDir base("base"), cand("cand");
+  write_run(base.path, make_run(0.9));
+  write_run(cand.path, make_run(0.9));
+  const auto report = compare_dirs(base.path.string(), cand.path.string(),
+                                   CompareOptions{});
+  EXPECT_TRUE(report.ok()) << report.to_text();
+  EXPECT_EQ(report.benches_compared, 1);
+  EXPECT_EQ(report.tables_compared, 1);
+  EXPECT_GT(report.cells_compared, 0);
+}
+
+TEST(CompareDirs, ValueDriftBeyondToleranceFails) {
+  TempDir base("base"), cand("cand");
+  write_run(base.path, make_run(0.9));
+  write_run(cand.path, make_run(0.7));
+  const auto report = compare_dirs(base.path.string(), cand.path.string(),
+                                   CompareOptions{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.mismatches[0].bench, "demo");
+  EXPECT_EQ(report.mismatches[0].table, "metrics");
+}
+
+TEST(CompareDirs, ShapeOnlyModeIgnoresValueDrift) {
+  TempDir base("base"), cand("cand");
+  write_run(base.path, make_run(0.9));
+  write_run(cand.path, make_run(0.7));
+  CompareOptions opts;
+  opts.values = false;
+  const auto report =
+      compare_dirs(base.path.string(), cand.path.string(), opts);
+  EXPECT_TRUE(report.ok()) << report.to_text();
+  EXPECT_EQ(report.cells_compared, 0);
+}
+
+TEST(CompareDirs, ShapeOnlyModeStillCatchesRowCountChange) {
+  TempDir base("base"), cand("cand");
+  write_run(base.path, make_run(0.9));
+  write_run(cand.path, make_run(0.9, /*extra_rows=*/2));
+  CompareOptions opts;
+  opts.values = false;
+  const auto report =
+      compare_dirs(base.path.string(), cand.path.string(), opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.mismatches[0].detail.find("shape"), std::string::npos);
+}
+
+TEST(CompareDirs, MissingTableFails) {
+  TempDir base("base"), cand("cand");
+  write_run(base.path, make_run(0.9));
+  Reporter other("demo");
+  other.add_table("renamed", "Renamed", {"x", "util"});
+  other.set_config({{"repeats", "10"}});
+  write_run(cand.path, other);
+  const auto report = compare_dirs(base.path.string(), cand.path.string(),
+                                   CompareOptions{});
+  ASSERT_FALSE(report.ok());
+  bool missing_from_cand = false, missing_from_base = false;
+  for (const auto& m : report.mismatches) {
+    if (m.detail == "table missing from candidate") missing_from_cand = true;
+    if (m.detail == "table missing from baseline") missing_from_base = true;
+  }
+  EXPECT_TRUE(missing_from_cand);
+  EXPECT_TRUE(missing_from_base);
+}
+
+TEST(CompareDirs, MissingBenchAndProfileMismatchFail) {
+  TempDir base("base"), cand("cand");
+  write_run(base.path, make_run(0.9), "quick");
+  Reporter other("another_bench");
+  other.add_table("t", "t", {"a"});
+  write_run(cand.path, other, "default");
+  const auto report = compare_dirs(base.path.string(), cand.path.string(),
+                                   CompareOptions{});
+  ASSERT_FALSE(report.ok());
+  bool profile = false, bench_missing = false;
+  for (const auto& m : report.mismatches) {
+    if (m.detail.find("profile") != std::string::npos) profile = true;
+    if (m.bench == "demo" && m.detail == "bench missing from candidate")
+      bench_missing = true;
+  }
+  EXPECT_TRUE(profile);
+  EXPECT_TRUE(bench_missing);
+}
+
+TEST(CompareDirs, ConfigDriftFails) {
+  TempDir base("base"), cand("cand");
+  write_run(base.path, make_run(0.9));
+  Reporter drifted = make_run(0.9);
+  drifted.set_config({{"repeats", "40"}});
+  write_run(cand.path, drifted);
+  const auto report = compare_dirs(base.path.string(), cand.path.string(),
+                                   CompareOptions{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.mismatches[0].detail.find("config changed"),
+            std::string::npos);
+}
+
+TEST(CompareDirs, WallClockComparedOnlyOnRequest) {
+  TempDir base("base"), cand("cand");
+  Reporter slow = make_run(0.9);
+  slow.set_wall_ms(1000.0);
+  write_run(base.path, make_run(0.9));  // wall_ms = 100
+  write_run(cand.path, slow);
+  EXPECT_TRUE(compare_dirs(base.path.string(), cand.path.string(),
+                           CompareOptions{})
+                  .ok());
+  CompareOptions opts;
+  opts.compare_wall = true;
+  EXPECT_FALSE(
+      compare_dirs(base.path.string(), cand.path.string(), opts).ok());
+}
+
+TEST(CompareDirs, CorruptCsvReportsMismatchInsteadOfThrowing) {
+  TempDir base("base"), cand("cand");
+  write_run(base.path, make_run(0.9));
+  write_run(cand.path, make_run(0.9));
+  std::ofstream(cand.path / "demo" / "metrics.csv")
+      << "x,util\n\"truncated";  // unterminated quoted cell
+  const auto report = compare_dirs(base.path.string(), cand.path.string(),
+                                   CompareOptions{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.mismatches[0].detail.find("cannot parse csv"),
+            std::string::npos);
+}
+
+TEST(CompareDirs, UnreadableDirectoryReportsMismatch) {
+  TempDir base("base");
+  write_run(base.path, make_run(0.9));
+  const auto report = compare_dirs(base.path.string(), "/nonexistent_dir_xyz",
+                                   CompareOptions{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.mismatches[0].detail.find("summary.json"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ehpc::bench

@@ -1,0 +1,76 @@
+#include "bench/lib/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ehpc::bench {
+namespace {
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(Json::parse("null").type(), Json::Type::kNull);
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, NumbersDumpCompactly) {
+  EXPECT_EQ(Json(5).dump(), "5");
+  EXPECT_EQ(Json(5.0).dump(), "5");
+  EXPECT_EQ(Json(0.25).dump(), "0.25");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj["zebra"] = Json(1);
+  obj["apple"] = Json(2);
+  obj["mid"] = Json(3);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"apple\":2,\"mid\":3}");
+}
+
+TEST(Json, NestedRoundTrip) {
+  Json root = Json::object();
+  root["name"] = Json("bench \"quoted\"\nline");
+  root["ok"] = Json(true);
+  Json arr = Json::array();
+  arr.push_back(Json(1));
+  arr.push_back(Json::object());
+  root["items"] = std::move(arr);
+
+  const std::string compact = root.dump();
+  const Json back = Json::parse(compact);
+  EXPECT_EQ(back.at("name").as_string(), "bench \"quoted\"\nline");
+  EXPECT_TRUE(back.at("ok").as_bool());
+  ASSERT_EQ(back.at("items").elements().size(), 2u);
+  EXPECT_DOUBLE_EQ(back.at("items").elements()[0].as_number(), 1.0);
+  // Pretty output parses back to the same document too.
+  EXPECT_EQ(Json::parse(root.dump(2)).dump(), compact);
+}
+
+TEST(Json, ParseErrorsCarryPosition) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("{} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Json(1).as_string(), JsonError);
+  EXPECT_THROW(Json("x").as_number(), JsonError);
+  EXPECT_THROW(Json().at("k"), JsonError);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.at("absent"), JsonError);
+  EXPECT_EQ(obj.find("absent"), nullptr);
+}
+
+TEST(Json, UnicodeEscapeParses) {
+  EXPECT_EQ(Json::parse("\"a\\u0041b\"").as_string(), "aAb");
+  // Control characters escape on dump and survive the round trip.
+  const Json s(std::string("\x01tab\t"));
+  EXPECT_EQ(Json::parse(s.dump()).as_string(), "\x01tab\t");
+}
+
+}  // namespace
+}  // namespace ehpc::bench

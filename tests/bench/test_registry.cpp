@@ -1,0 +1,94 @@
+#include "bench/lib/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench/lib/runner.hpp"
+#include "common/error.hpp"
+
+namespace ehpc::bench {
+namespace {
+
+BenchDef fake_bench() {
+  BenchDef def;
+  def.name = "fake_bench";
+  def.description = "records its effective flags";
+  def.flags = {{"iters", "100", "iteration count"},
+               {"seed", "7", "rng seed"}};
+  def.quick_overrides = {{"iters", "5"}};
+  def.fn = [](Reporter& rep, const Config& cfg) {
+    Table& t = rep.add_table("seen", "Effective flags", {"key", "value"});
+    t.add_row({"iters", cfg.get_or("iters", "?")});
+    t.add_row({"seed", cfg.get_or("seed", "?")});
+  };
+  return def;
+}
+
+// The production registry is registered-into by driver TUs; tests register a
+// throwaway bench through the same static-init path to prove it works.
+const RegisterBench kTestRegistration{fake_bench()};
+
+TEST(Registry, StaticRegistrationIsVisible) {
+  const BenchDef* def = Registry::instance().find("fake_bench");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->description, "records its effective flags");
+  EXPECT_EQ(Registry::instance().find("no_such_bench"), nullptr);
+}
+
+TEST(Registry, DuplicateNameRejected) {
+  EXPECT_THROW(Registry::instance().add(fake_bench()), PreconditionError);
+}
+
+TEST(Runner, DefaultsMaterialisedIntoConfig) {
+  const Reporter rep = run_bench(fake_bench(), Config(), /*quick=*/false);
+  const Table& seen = rep.find("seen")->table;
+  EXPECT_EQ(seen.row(0), (std::vector<std::string>{"iters", "100"}));
+  EXPECT_EQ(seen.row(1), (std::vector<std::string>{"seed", "7"}));
+  EXPECT_EQ(rep.config().at("iters"), "100");
+  EXPECT_GE(rep.wall_ms(), 0.0);
+}
+
+TEST(Runner, QuickProfileOverridesDefaultsButNotUserValues) {
+  const Reporter quick = run_bench(fake_bench(), Config(), /*quick=*/true);
+  EXPECT_EQ(quick.config().at("iters"), "5");
+  EXPECT_EQ(quick.config().at("seed"), "7");
+
+  Config user;
+  user.set("iters", "42");
+  const Reporter pinned = run_bench(fake_bench(), user, /*quick=*/true);
+  EXPECT_EQ(pinned.config().at("iters"), "42");
+}
+
+TEST(Runner, UnknownFlagIsAHardError) {
+  const BenchDef def = fake_bench();
+  const char* argv[] = {"fake_bench", "itres=5"};  // misspelled
+  EXPECT_THROW(parse_bench_config(def, 2, argv), ConfigError);
+  try {
+    parse_bench_config(def, 2, argv);
+  } catch (const ConfigError& err) {
+    EXPECT_NE(std::string(err.what()).find("itres"), std::string::npos);
+  }
+}
+
+TEST(Runner, CommonHarnessFlagsAccepted) {
+  const BenchDef def = fake_bench();
+  const char* argv[] = {"fake_bench", "--quick", "csv=true", "out_dir=/tmp/x"};
+  const Config cfg = parse_bench_config(def, 4, argv);
+  EXPECT_TRUE(cfg.get_bool("quick", false));
+  EXPECT_TRUE(cfg.get_bool("csv", false));
+}
+
+TEST(Runner, PositionalArgumentsRejected) {
+  const BenchDef def = fake_bench();
+  const char* argv[] = {"fake_bench", "stray"};
+  EXPECT_THROW(parse_bench_config(def, 2, argv), ConfigError);
+}
+
+TEST(Runner, UsageListsFlagsAndDefaults) {
+  const std::string text = usage(fake_bench());
+  EXPECT_NE(text.find("iters=100"), std::string::npos);
+  EXPECT_NE(text.find("iteration count"), std::string::npos);
+  EXPECT_NE(text.find("out_dir"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ehpc::bench

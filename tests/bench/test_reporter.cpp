@@ -1,0 +1,139 @@
+#include "bench/lib/reporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench/lib/runner.hpp"
+#include "common/error.hpp"
+
+namespace ehpc::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Temp directory unique to the current test, removed on destruction.
+struct TempDir {
+  TempDir() {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path = fs::temp_directory_path() /
+           (std::string("ehk_bench_") + info->name());
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  fs::path path;
+};
+
+Reporter sample_reporter() {
+  Reporter rep("demo_bench");
+  Table& t = rep.add_table("alpha", "Alpha title", {"x", "y"});
+  t.add_row({"1", "0.5"});
+  t.add_row({"2", "0.25"});
+  Table& u = rep.add_table("beta", "Beta, with commas", {"label", "value"});
+  u.add_row({"needs,quoting", "3"});
+  rep.note("a closing note");
+  rep.set_wall_ms(12.5);
+  rep.set_config({{"iters", "4"}, {"seed", "7"}});
+  return rep;
+}
+
+TEST(Reporter, TextModeRendersTitlesTablesAndNotes) {
+  const Reporter rep = sample_reporter();
+  const std::string text = rep.to_text();
+  EXPECT_NE(text.find("== Alpha title =="), std::string::npos);
+  EXPECT_NE(text.find("== Beta, with commas =="), std::string::npos);
+  EXPECT_NE(text.find("a closing note"), std::string::npos);
+  EXPECT_LT(text.find("Alpha"), text.find("Beta"));
+}
+
+TEST(Reporter, CsvModeTagsEachTable) {
+  const std::string csv = sample_reporter().to_csv();
+  EXPECT_NE(csv.find("# table: alpha"), std::string::npos);
+  EXPECT_NE(csv.find("# table: beta"), std::string::npos);
+  EXPECT_NE(csv.find("\"needs,quoting\""), std::string::npos);
+}
+
+TEST(Reporter, TableReferencesStayValidAcrossAdds) {
+  Reporter rep("ref_stability");
+  Table& first = rep.add_table("t0", "t0", {"a"});
+  for (int i = 1; i < 50; ++i) {
+    rep.add_table("t" + std::to_string(i), "title", {"a"});
+  }
+  first.add_row({"still valid"});
+  EXPECT_EQ(rep.find("t0")->table.rows(), 1u);
+}
+
+TEST(Reporter, RejectsDuplicateAndUnsafeIds) {
+  Reporter rep("demo");
+  rep.add_table("dup", "t", {"a"});
+  EXPECT_THROW(rep.add_table("dup", "t", {"a"}), PreconditionError);
+  EXPECT_THROW(rep.add_table("bad/slash", "t", {"a"}), PreconditionError);
+  EXPECT_THROW(rep.add_table("", "t", {"a"}), PreconditionError);
+  EXPECT_THROW(Reporter("spaces in name"), PreconditionError);
+}
+
+TEST(Reporter, CsvFilesRoundTripThroughParseCsv) {
+  TempDir tmp;
+  const Reporter rep = sample_reporter();
+  rep.write_csvs(tmp.path.string());
+
+  const Table alpha =
+      parse_csv(read_file(tmp.path / "demo_bench" / "alpha.csv"));
+  EXPECT_EQ(alpha.header(), rep.find("alpha")->table.header());
+  ASSERT_EQ(alpha.rows(), 2u);
+  EXPECT_EQ(alpha.row(1), rep.find("alpha")->table.row(1));
+
+  const Table beta = parse_csv(read_file(tmp.path / "demo_bench" / "beta.csv"));
+  EXPECT_EQ(beta.row(0)[0], "needs,quoting");
+}
+
+TEST(Reporter, SummaryJsonRoundTrip) {
+  const Json entry = sample_reporter().summary_json();
+  const Json back = Json::parse(entry.dump(2));
+  EXPECT_EQ(back.at("bench").as_string(), "demo_bench");
+  EXPECT_DOUBLE_EQ(back.at("wall_ms").as_number(), 12.5);
+  EXPECT_EQ(back.at("config").at("iters").as_string(), "4");
+  ASSERT_EQ(back.at("tables").elements().size(), 2u);
+  const Json& alpha = back.at("tables").elements()[0];
+  EXPECT_EQ(alpha.at("table").as_string(), "alpha");
+  EXPECT_DOUBLE_EQ(alpha.at("rows").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(alpha.at("cols").as_number(), 2.0);
+  EXPECT_EQ(alpha.at("csv").as_string(), "demo_bench/alpha.csv");
+}
+
+TEST(Reporter, WriteCsvsClearsStaleTables) {
+  TempDir tmp;
+  sample_reporter().write_csvs(tmp.path.string());
+  ASSERT_TRUE(fs::exists(tmp.path / "demo_bench" / "beta.csv"));
+
+  Reporter regenerated("demo_bench");
+  regenerated.add_table("alpha", "Alpha title", {"x", "y"});
+  regenerated.write_csvs(tmp.path.string());
+  EXPECT_TRUE(fs::exists(tmp.path / "demo_bench" / "alpha.csv"));
+  EXPECT_FALSE(fs::exists(tmp.path / "demo_bench" / "beta.csv"));
+}
+
+TEST(WriteOutputs, ProducesSummaryAndCsvs) {
+  TempDir tmp;
+  write_outputs({sample_reporter()}, tmp.path.string(), "quick");
+
+  const Json summary = Json::parse(read_file(tmp.path / "summary.json"));
+  EXPECT_DOUBLE_EQ(summary.at("schema_version").as_number(), 1.0);
+  EXPECT_EQ(summary.at("profile").as_string(), "quick");
+  ASSERT_EQ(summary.at("benches").elements().size(), 1u);
+  EXPECT_TRUE(fs::exists(tmp.path / "demo_bench" / "alpha.csv"));
+  EXPECT_TRUE(fs::exists(tmp.path / "demo_bench" / "beta.csv"));
+}
+
+}  // namespace
+}  // namespace ehpc::bench

@@ -63,5 +63,55 @@ TEST(Config, ValueWithEqualsSign) {
   EXPECT_EQ(c.get_or("expr", ""), "a=b");
 }
 
+TEST(Config, DashedFlagsNormalised) {
+  Config c = parse({"--quick", "--out-dir=/tmp/x", "--rel-tol=0.1"});
+  EXPECT_TRUE(c.get_bool("quick", false));
+  EXPECT_EQ(c.get_or("out_dir", ""), "/tmp/x");
+  EXPECT_DOUBLE_EQ(c.get_double("rel_tol", 0.0), 0.1);
+  EXPECT_TRUE(c.positional().empty());
+}
+
+TEST(Config, BareDoubleDashStaysPositional) {
+  Config c = parse({"--", "-x"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "--");
+  EXPECT_EQ(c.positional()[1], "-x");
+}
+
+TEST(Config, StrictParseRejectsUnknownKey) {
+  std::vector<const char*> argv{"prog", "seed=7", "repeets=3"};
+  EXPECT_THROW(Config::from_args(static_cast<int>(argv.size()), argv.data(),
+                                 {"seed", "repeats"}),
+               ConfigError);
+  try {
+    Config::from_args(static_cast<int>(argv.size()), argv.data(),
+                      {"seed", "repeats"});
+  } catch (const ConfigError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("repeets"), std::string::npos);
+    EXPECT_NE(what.find("repeats"), std::string::npos);
+  }
+}
+
+TEST(Config, StrictParseAcceptsKnownKeys) {
+  std::vector<const char*> argv{"prog", "seed=7", "positional_ok"};
+  const Config c = Config::from_args(static_cast<int>(argv.size()),
+                                     argv.data(), {"seed"});
+  EXPECT_EQ(c.get_int("seed", 0), 7);
+  ASSERT_EQ(c.positional().size(), 1u);
+}
+
+TEST(Config, RequireKnownOnEmptyAllowedList) {
+  Config c = parse({"k=1"});
+  EXPECT_THROW(c.require_known({}), ConfigError);
+  EXPECT_NO_THROW(parse({}).require_known({}));
+}
+
+TEST(Config, ValuesExposesOrderedMap) {
+  Config c = parse({"b=2", "a=1"});
+  ASSERT_EQ(c.values().size(), 2u);
+  EXPECT_EQ(c.values().begin()->first, "a");
+}
+
 }  // namespace
 }  // namespace ehpc

@@ -27,6 +27,30 @@ TEST(Table, CsvRoundTripSimple) {
   EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
 }
 
+TEST(Table, ParseCsvRoundTripsEscapedCells) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  t.add_row({"multi\nline", ""});
+  const Table back = parse_csv(t.to_csv());
+  EXPECT_EQ(back.header(), t.header());
+  ASSERT_EQ(back.rows(), t.rows());
+  EXPECT_EQ(back.row(0), t.row(0));
+  EXPECT_EQ(back.row(1), t.row(1));
+}
+
+TEST(Table, ParseCsvHandlesCrlfAndTrailingCell) {
+  const Table t = parse_csv("a,b\r\n1,\r\n");
+  EXPECT_EQ(t.header(), (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.row(0), (std::vector<std::string>{"1", ""}));
+}
+
+TEST(Table, ParseCsvRejectsBadInput) {
+  EXPECT_THROW(parse_csv(""), PreconditionError);
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), PreconditionError);
+  EXPECT_THROW(parse_csv("a\n\"unterminated"), PreconditionError);
+}
+
 TEST(Table, MarkdownHasSeparatorRow) {
   Table t({"col"});
   t.add_row({"v"});
