@@ -13,25 +13,13 @@
 #include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "schedsim/calibrate.hpp"
-#include "schedsim/simulator.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
 
 using namespace ehpc;
 using elastic::PolicyMode;
 
 namespace {
-
-elastic::RunMetrics run_averaged(const elastic::PolicyConfig& pc, int repeats,
-                                 unsigned seed,
-                                 const std::map<elastic::JobClass, elastic::Workload>& w) {
-  std::vector<elastic::RunMetrics> runs;
-  for (int rep = 0; rep < repeats; ++rep) {
-    schedsim::JobMixGenerator gen(seed + static_cast<unsigned>(rep));
-    schedsim::SchedSimulator sim(64, pc, w);
-    runs.push_back(sim.run(gen.generate(16, 90.0)).metrics);
-  }
-  return elastic::average_metrics(runs);
-}
 
 void add_metrics_row(Table& t, const std::string& label,
                      const elastic::RunMetrics& m) {
@@ -42,9 +30,17 @@ void add_metrics_row(Table& t, const std::string& label,
 }
 
 void run(bench::Reporter& rep, const Config& cfg) {
-  const int repeats = cfg.get_int("repeats", 40);
-  const unsigned seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
-  const auto workloads = schedsim::analytic_workloads();
+  // The "policy_compare" scenario with analytic curves; each ablation
+  // variant supplies its own explicit PolicyConfig.
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::instance().require("policy_compare");
+  spec.repeats = cfg.get_int("repeats", 40);
+  spec.seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
+  spec.calibrated = false;
+  const int threads = cfg.get_int("threads", 1);
+  auto run_averaged = [&](const elastic::PolicyConfig& pc) {
+    return scenario::run_repeats(spec, pc, threads);
+  };
   const std::vector<std::string> headers{"variant", "total_s", "utilization",
                                          "response_s", "completion_s"};
 
@@ -57,7 +53,7 @@ void run(bench::Reporter& rep, const Config& cfg) {
     pc.rescale_gap_s = 180.0;
     pc.reserve_slots = reserve;
     add_metrics_row(t1, "reserve=" + std::to_string(reserve),
-                    run_averaged(pc, repeats, seed, workloads));
+                    run_averaged(pc));
   }
 
   Table& t2 = rep.add_table(
@@ -69,7 +65,7 @@ void run(bench::Reporter& rep, const Config& cfg) {
     pc.rescale_gap_s = 180.0;
     pc.protect_top_job = protect;
     add_metrics_row(t2, protect ? "protected (paper)" : "all victims",
-                    run_averaged(pc, repeats, seed, workloads));
+                    run_averaged(pc));
   }
 
   Table& t3 = rep.add_table(
@@ -82,7 +78,7 @@ void run(bench::Reporter& rep, const Config& cfg) {
     pc.mode = mode;
     pc.rescale_gap_s = 180.0;
     add_metrics_row(t3, elastic::to_string(mode),
-                    run_averaged(pc, repeats, seed, workloads));
+                    run_averaged(pc));
   }
 
   Table& t4 = rep.add_table(

@@ -2,13 +2,18 @@
 // 16 random jobs (4 size classes, priorities 1-5), T_rescale_gap = 180 s,
 // submission gap swept 0..300 s; four metrics for the four policies,
 // averaged over `repeats` random mixes.
+//
+// The experiment itself is the registered "fig7_submission_gap" scenario;
+// this driver only overlays flags and renders tables. `threads=N` (a common
+// harness flag) fans the sweep cells out deterministically.
 
 #include <tuple>
 
 #include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "schedsim/sweeps.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
 
 using namespace ehpc;
 using elastic::PolicyMode;
@@ -16,14 +21,14 @@ using elastic::PolicyMode;
 namespace {
 
 void run(bench::Reporter& rep, const Config& cfg) {
-  schedsim::ExperimentParams params;
-  params.repeats = cfg.get_int("repeats", 100);
-  params.seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
-  params.calibrated = cfg.get_bool("calibrated", true);
-  params.rescale_gap_s = 180.0;
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::instance().require("fig7_submission_gap");
+  spec.repeats = cfg.get_int("repeats", 100);
+  spec.seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
+  spec.calibrated = cfg.get_bool("calibrated", true);
 
-  const std::vector<double> gaps{0, 30, 60, 90, 120, 180, 240, 300};
-  const auto points = schedsim::sweep_submission_gap(params, gaps);
+  const auto points =
+      scenario::run_sweep(spec, cfg.get_int("threads", 1)).points;
 
   const std::vector<std::tuple<std::string, std::string,
                                double elastic::RunMetrics::*>>
@@ -50,9 +55,9 @@ void run(bench::Reporter& rep, const Config& cfg) {
            format_double(pt.metrics.at(PolicyMode::kRigidMax).*member, 3)});
     }
   }
-  rep.note("(" + std::to_string(params.repeats) + " random mixes per point, seed " +
-           std::to_string(params.seed) + ", " +
-           (params.calibrated ? "minicharm-calibrated" : "analytic") +
+  rep.note("(" + std::to_string(spec.repeats) + " random mixes per point, seed " +
+           std::to_string(spec.seed) + ", " +
+           (spec.calibrated ? "minicharm-calibrated" : "analytic") +
            " step-time curves)");
 }
 

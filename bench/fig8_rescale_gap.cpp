@@ -8,13 +8,17 @@
 // phenomenology (falling utilization, rising total time, convergence to
 // moldable) is fully visible there. Pass submission_gap=180 for the paper's
 // literal setting.
+//
+// The experiment itself is the registered "fig8_rescale_gap" scenario;
+// `threads=N` (a common harness flag) fans the sweep cells out.
 
 #include <tuple>
 
 #include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "schedsim/sweeps.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
 
 using namespace ehpc;
 using elastic::PolicyMode;
@@ -22,14 +26,15 @@ using elastic::PolicyMode;
 namespace {
 
 void run(bench::Reporter& rep, const Config& cfg) {
-  schedsim::ExperimentParams params;
-  params.repeats = cfg.get_int("repeats", 100);
-  params.seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
-  params.calibrated = cfg.get_bool("calibrated", true);
-  params.submission_gap_s = cfg.get_double("submission_gap", 90.0);
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::instance().require("fig8_rescale_gap");
+  spec.repeats = cfg.get_int("repeats", 100);
+  spec.seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
+  spec.calibrated = cfg.get_bool("calibrated", true);
+  spec.submission_gap_s = cfg.get_double("submission_gap", 90.0);
 
-  const std::vector<double> gaps{0, 60, 120, 180, 300, 600, 900, 1200};
-  const auto points = schedsim::sweep_rescale_gap(params, gaps);
+  const auto points =
+      scenario::run_sweep(spec, cfg.get_int("threads", 1)).points;
 
   const std::vector<std::tuple<std::string, std::string,
                                double elastic::RunMetrics::*>>
@@ -57,9 +62,9 @@ void run(bench::Reporter& rep, const Config& cfg) {
            format_double(pt.metrics.at(PolicyMode::kRigidMax).*member, 3)});
     }
   }
-  rep.note("(" + std::to_string(params.repeats) +
+  rep.note("(" + std::to_string(spec.repeats) +
            " random mixes per point, submission gap " +
-           format_double(params.submission_gap_s, 0) +
+           format_double(spec.submission_gap_s, 0) +
            " s; elastic -> moldable as the gap grows)");
 }
 

@@ -5,7 +5,8 @@
 //
 // The run includes every operator-level overhead the simulator ignores
 // (scheduling latency, pod startup, reconcile latency, the shrink/expand
-// handshake), exactly like the paper's EKS experiment.
+// handshake), exactly like the paper's EKS experiment. The experiment is
+// the registered "fig9_cluster" scenario (substrate=cluster).
 
 #include <algorithm>
 #include <map>
@@ -13,8 +14,8 @@
 #include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "opk/experiment.hpp"
-#include "schedsim/calibrate.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
 
 using namespace ehpc;
 using elastic::PolicyMode;
@@ -22,26 +23,16 @@ using elastic::PolicyMode;
 namespace {
 
 void run(bench::Reporter& rep, const Config& cfg) {
-  const unsigned seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
-  const double gap = cfg.get_double("gap", 90.0);
-  const double rescale_gap = cfg.get_double("rescale_gap", 180.0);
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::instance().require("fig9_cluster");
+  spec.seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
+  spec.submission_gap_s = cfg.get_double("gap", 90.0);
+  spec.rescale_gap_s = cfg.get_double("rescale_gap", 180.0);
+  spec.calibrated = cfg.get_bool("calibrated", true);
   const double bucket = cfg.get_double("bucket", 60.0);
-  const bool calibrated = cfg.get_bool("calibrated", true);
 
-  const auto workloads = calibrated ? schedsim::calibrated_workloads()
-                                    : schedsim::analytic_workloads();
-  schedsim::JobMixGenerator gen(seed);
-  const auto mix = gen.generate(16, gap);
-
-  std::map<PolicyMode, schedsim::SimResult> results;
-  for (auto mode : {PolicyMode::kRigidMin, PolicyMode::kRigidMax,
-                    PolicyMode::kMoldable, PolicyMode::kElastic}) {
-    opk::ExperimentConfig ec;
-    ec.policy.mode = mode;
-    ec.policy.rescale_gap_s = rescale_gap;
-    opk::ClusterExperiment exp(ec, workloads);
-    results.emplace(mode, exp.run(mix));
-  }
+  const auto mix = scenario::make_mix(spec, spec.seed);
+  const auto results = scenario::run_policies(spec, mix);
 
   double horizon = 0.0;
   for (const auto& [mode, res] : results) {
@@ -106,8 +97,7 @@ void run(bench::Reporter& rep, const Config& cfg) {
       "Per-policy metrics for this run (the 'Actual' flavour)",
       {"scheduler", "total_time_s", "utilization", "w_mean_response_s",
        "w_mean_completion_s", "rescales"});
-  for (auto mode : {PolicyMode::kRigidMin, PolicyMode::kRigidMax,
-                    PolicyMode::kMoldable, PolicyMode::kElastic}) {
+  for (const PolicyMode mode : spec.policies) {
     const auto& m = results.at(mode).metrics;
     metrics.add_row({elastic::to_string(mode), format_double(m.total_time_s, 1),
                      format_double(m.utilization, 4),

@@ -1,5 +1,6 @@
 #include "bench/lib/runner.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -15,7 +16,8 @@ namespace {
 const char* const kCommonFlagsHelp =
     "  csv=false         print tables as CSV instead of aligned text\n"
     "  out_dir=DIR       also write per-table CSV files and summary.json\n"
-    "  quick=false       apply the CI-sized quick profile (--quick works too)\n";
+    "  quick=false       apply the CI-sized quick profile (--quick works too)\n"
+    "  threads=1         worker threads for benches that sweep (0 = auto)\n";
 
 void reject_positional(const Config& cfg) {
   if (cfg.positional().empty()) return;
@@ -33,6 +35,7 @@ std::vector<std::string> allowed_keys(const BenchDef& def) {
   keys.push_back("csv");
   keys.push_back("out_dir");
   keys.push_back("quick");
+  keys.push_back("threads");
   return keys;
 }
 
@@ -122,22 +125,35 @@ int standalone_main(int argc, const char* const* argv) {
   return 0;
 }
 
-int run_all_main(int argc, const char* const* argv) {
-  const std::string usage_text =
+int run_all_main(int argc, const char* const* argv, const RunAllHooks* hooks) {
+  std::string usage_text =
       "usage: bench_run_all [key=value ...]\n"
       "Run every registered bench and write CSVs + summary.json.\n\nflags:\n"
       "  out_dir=bench_out  output directory for CSVs and summary.json\n"
       "  quick=false        CI-sized quick profile (--quick works too)\n"
       "  only=SUBSTR        run only benches whose name contains SUBSTR\n"
-      "  list=false         list registered benches and exit\n";
+      "  list=false         list registered benches and exit\n"
+      "  seed=N             override the seed flag of benches that have one\n"
+      "  threads=1          worker threads for benches that sweep (0 = auto)\n";
+  std::vector<std::string> keys{"out_dir", "quick", "only",
+                                "list",    "seed",  "threads"};
+  if (hooks != nullptr) {
+    usage_text += hooks->extra_usage;
+    keys.insert(keys.end(), hooks->extra_keys.begin(), hooks->extra_keys.end());
+  }
 
   Config cfg;
   try {
-    cfg = Config::from_args(argc, argv, {"out_dir", "quick", "only", "list"});
+    cfg = Config::from_args(argc, argv, keys);
     reject_positional(cfg);
   } catch (const ConfigError& err) {
     std::cerr << "error: " << err.what() << "\n\n" << usage_text;
     return 2;
+  }
+
+  if (hooks != nullptr && hooks->handle) {
+    const int code = hooks->handle(cfg);
+    if (code >= 0) return code;
   }
 
   const auto& benches = Registry::instance().benches();
@@ -156,9 +172,17 @@ int run_all_main(int argc, const char* const* argv) {
   Timer total;
   for (const auto& def : benches) {
     if (!only.empty() && def.name.find(only) == std::string::npos) continue;
+    Config bench_cfg;
+    if (auto seed = cfg.get("seed")) {
+      const bool has_seed_flag =
+          std::any_of(def.flags.begin(), def.flags.end(),
+                      [](const FlagSpec& f) { return f.key == "seed"; });
+      if (has_seed_flag) bench_cfg.set("seed", *seed);
+    }
+    if (auto threads = cfg.get("threads")) bench_cfg.set("threads", *threads);
     std::cout << "[bench] " << def.name << " ..." << std::flush;
     try {
-      runs.push_back(run_bench(def, Config(), quick));
+      runs.push_back(run_bench(def, bench_cfg, quick));
     } catch (const std::exception& err) {
       std::cout << " FAILED\n";
       std::cerr << "error: " << def.name << ": " << err.what() << "\n";

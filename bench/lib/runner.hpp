@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,8 +38,22 @@ void write_outputs(const std::vector<Reporter>& runs,
 /// a usage message on bad flags.
 int standalone_main(int argc, const char* const* argv);
 
+/// Optional extension point for run_all_main, letting the linking binary
+/// accept extra strict keys and intercept the parsed config before the
+/// bench loop (bench_run_all uses this for --scenario / --list-scenarios
+/// without making the reporting library depend on the scenario layer).
+struct RunAllHooks {
+  std::vector<std::string> extra_keys;
+  std::string extra_usage;  ///< appended to the flags help text
+  /// Return an exit code to stop before the bench loop, or -1 to continue.
+  std::function<int(const Config&)> handle;
+};
+
 /// main() body for bench_run_all: runs every registered bench (optionally
 /// filtered with only=SUBSTR) and writes CSVs + summary.json to out_dir.
-int run_all_main(int argc, const char* const* argv);
+/// `seed=N` overrides the seed flag of every bench that declares one and
+/// `threads=N` is forwarded to every bench (sweep benches fan out with it).
+int run_all_main(int argc, const char* const* argv,
+                 const RunAllHooks* hooks = nullptr);
 
 }  // namespace ehpc::bench

@@ -4,7 +4,8 @@
 // same mix executed through the operator on the Kubernetes substrate).
 //
 // Paper setup: T_rescale_gap = 180 s, submission gap 90 s, one job set
-// picked from the random generator.
+// picked from the random generator. The experiment is the registered
+// "table1" scenario, executed once per substrate through the backend seam.
 
 #include <map>
 #include <utility>
@@ -12,9 +13,8 @@
 #include "bench/lib/registry.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "opk/experiment.hpp"
-#include "schedsim/calibrate.hpp"
-#include "schedsim/simulator.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
 
 using namespace ehpc;
 using elastic::PolicyMode;
@@ -22,15 +22,20 @@ using elastic::PolicyMode;
 namespace {
 
 void run(bench::Reporter& rep, const Config& cfg) {
-  const unsigned seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
-  const double gap = cfg.get_double("gap", 90.0);
-  const double rescale_gap = cfg.get_double("rescale_gap", 180.0);
-  const bool calibrated = cfg.get_bool("calibrated", true);
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::instance().require("table1");
+  spec.seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
+  spec.submission_gap_s = cfg.get_double("gap", 90.0);
+  spec.rescale_gap_s = cfg.get_double("rescale_gap", 180.0);
+  spec.calibrated = cfg.get_bool("calibrated", true);
 
-  const auto workloads = calibrated ? schedsim::calibrated_workloads()
-                                    : schedsim::analytic_workloads();
-  schedsim::JobMixGenerator gen(seed);
-  const auto mix = gen.generate(16, gap);
+  const auto workloads = scenario::workloads_for(spec);
+  const auto mix = scenario::make_mix(spec, spec.seed);
+
+  spec.substrate = scenario::Substrate::kSchedSim;
+  const auto simulated = scenario::run_policies(spec, mix, workloads);
+  spec.substrate = scenario::Substrate::kCluster;
+  const auto actual = scenario::run_policies(spec, mix, workloads);
 
   Table& table = rep.add_table(
       "table1",
@@ -40,30 +45,19 @@ void run(bench::Reporter& rep, const Config& cfg) {
        "completion_sim_s"});
 
   std::map<PolicyMode, std::pair<elastic::RunMetrics, elastic::RunMetrics>> all;
-  for (auto mode : {PolicyMode::kRigidMin, PolicyMode::kRigidMax,
-                    PolicyMode::kMoldable, PolicyMode::kElastic}) {
-    elastic::PolicyConfig pc;
-    pc.mode = mode;
-    pc.rescale_gap_s = rescale_gap;
-
-    schedsim::SchedSimulator sim(64, pc, workloads);
-    const auto simulated = sim.run(mix).metrics;
-
-    opk::ExperimentConfig ec;
-    ec.policy = pc;
-    opk::ClusterExperiment exp(ec, workloads);
-    const auto actual = exp.run(mix).metrics;
-
-    all.emplace(mode, std::make_pair(actual, simulated));
+  for (const PolicyMode mode : spec.policies) {
+    const auto& sim_metrics = simulated.at(mode).metrics;
+    const auto& act_metrics = actual.at(mode).metrics;
+    all.emplace(mode, std::make_pair(act_metrics, sim_metrics));
     table.add_row({elastic::to_string(mode),
-                   format_double(actual.total_time_s, 0),
-                   format_double(simulated.total_time_s, 0),
-                   format_double(actual.utilization, 4),
-                   format_double(simulated.utilization, 4),
-                   format_double(actual.weighted_response_s, 2),
-                   format_double(simulated.weighted_response_s, 2),
-                   format_double(actual.weighted_completion_s, 2),
-                   format_double(simulated.weighted_completion_s, 2)});
+                   format_double(act_metrics.total_time_s, 0),
+                   format_double(sim_metrics.total_time_s, 0),
+                   format_double(act_metrics.utilization, 4),
+                   format_double(sim_metrics.utilization, 4),
+                   format_double(act_metrics.weighted_response_s, 2),
+                   format_double(sim_metrics.weighted_response_s, 2),
+                   format_double(act_metrics.weighted_completion_s, 2),
+                   format_double(sim_metrics.weighted_completion_s, 2)});
   }
 
   const auto& [ea, es] = all.at(PolicyMode::kElastic);

@@ -1,19 +1,20 @@
-// Replay a job trace under all four scheduling policies and compare the
-// paper's four metrics. The trace is either generated (seed=) or read from a
-// CSV file with lines: id,class,priority,submit_time
+// Replay a job trace under the scenario's policies and compare the paper's
+// four metrics. The trace is either generated from the scenario's job-mix
+// parameters or read from a CSV file with lines: id,class,priority,submit_time
 // where class is one of small|medium|large|xlarge.
 //
-// Usage: trace_replay [seed=7] [jobs=16] [gap=90] [rescale_gap=180]
-//                     [trace=path.csv]
+// Usage: trace_replay [scenario=NAME] [seed=2025] [num_jobs=16]
+//                     [submission_gap=90] [rescale_gap=180]
+//                     [substrate=schedsim|cluster] [trace=path.csv] ...
+// Any scenario key works as an override (see usage text on bad flags).
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "common/config.hpp"
 #include "common/table.hpp"
-#include "schedsim/calibrate.hpp"
-#include "schedsim/simulator.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
 
 using namespace ehpc;
 using elastic::PolicyMode;
@@ -56,36 +57,44 @@ std::vector<schedsim::SubmittedJob> load_trace(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  scenario::ScenarioSpec spec;
   Config cfg;
   try {
-    cfg = Config::from_args(argc, argv,
-                            {"seed", "jobs", "gap", "rescale_gap", "trace"});
+    std::vector<std::string> keys = scenario::scenario_config_keys();
+    keys.push_back("trace");
+    cfg = Config::from_args(argc, argv, keys);
+    spec = scenario::resolve_scenario(cfg);
   } catch (const ConfigError& err) {
     std::cerr << "error: " << err.what() << "\n"
-              << "usage: trace_replay [seed=7] [jobs=16] [gap=90]\n"
-              << "       [rescale_gap=180] [trace=path.csv]\n";
+              << "usage: trace_replay [scenario=NAME] [trace=path.csv] "
+              << "[key=value ...]\n\nscenario keys:\n"
+              << scenario::spec_config_help();
     return 2;
   }
+
   std::vector<schedsim::SubmittedJob> mix;
   if (auto trace = cfg.get("trace")) {
+    // The file supplies the mix; mix-generation keys would be silently
+    // inert, so reject the combination.
+    for (const char* key : {"num_jobs", "submission_gap", "seed"}) {
+      if (cfg.has(key)) {
+        std::cerr << "error: '" << key
+                  << "' has no effect when trace= supplies the job mix\n";
+        return 2;
+      }
+    }
     mix = load_trace(*trace);
     std::cout << "Replaying " << mix.size() << " jobs from " << *trace << "\n\n";
   } else {
-    schedsim::JobMixGenerator gen(static_cast<unsigned>(cfg.get_int("seed", 7)));
-    mix = gen.generate(cfg.get_int("jobs", 16), cfg.get_double("gap", 90.0));
+    mix = scenario::make_mix(spec, spec.seed);
     std::cout << "Replaying a generated mix of " << mix.size() << " jobs\n\n";
   }
 
-  const auto workloads = schedsim::calibrated_workloads();
+  const auto results = scenario::run_policies(spec, mix);
   Table table({"scheduler", "total_s", "utilization", "response_s",
                "completion_s", "rescales"});
-  for (auto mode : {PolicyMode::kRigidMin, PolicyMode::kRigidMax,
-                    PolicyMode::kMoldable, PolicyMode::kElastic}) {
-    elastic::PolicyConfig pc;
-    pc.mode = mode;
-    pc.rescale_gap_s = cfg.get_double("rescale_gap", 180.0);
-    schedsim::SchedSimulator sim(64, pc, workloads);
-    const auto result = sim.run(mix);
+  for (const PolicyMode mode : spec.policies) {
+    const auto& result = results.at(mode);
     table.add_row({elastic::to_string(mode),
                    format_double(result.metrics.total_time_s, 1),
                    format_double(result.metrics.utilization, 4),

@@ -2,15 +2,162 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <string>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
 
 namespace ehpc::opk {
 
-using elastic::Action;
-using elastic::ActionType;
 using elastic::JobId;
+
+/// ExecHarness specialisation for the Kubernetes substrate: starts wait for
+/// pods to schedule and run, and every rescale goes through the paper's
+/// signal → iteration-boundary → rescale → ack handshake (§3.1).
+class ClusterExperiment::Harness final : public schedsim::ExecHarness {
+ public:
+  explicit Harness(ClusterExperiment& owner)
+      : schedsim::ExecHarness(owner.cluster_.sim(),
+                              owner.config_.nodes * owner.config_.cpus_per_node,
+                              owner.config_.policy, owner.workloads_),
+        owner_(owner) {}
+
+  /// Physical utilization sample from the cluster's pod watch.
+  void record_physical_usage() {
+    k8s::Cluster& cluster = owner_.cluster_;
+    const int used = cluster.bound_cpus();
+    const double total = static_cast<double>(cluster.total_cpus());
+    collector().record_usage(cluster.sim().now(),
+                             std::min(used, cluster.total_cpus()));
+    trace().record("util", cluster.sim().now(),
+                   static_cast<double>(used) / total);
+  }
+
+ private:
+  void init_exec(schedsim::JobExec& exec,
+                 const schedsim::SubmittedJob& job) override {
+    exec.job_name = job.spec.name.empty()
+                        ? "job-" + std::to_string(job.spec.id)
+                        : job.spec.name;
+  }
+
+  void start_job(JobId id, int replicas) override {
+    schedsim::JobExec& exec = this->exec(id);
+    EHPC_EXPECTS(!exec.started);
+    CharmJob job;
+    job.meta.name = exec.job_name;
+    job.job = engine().job(id).spec;
+    job.desired_replicas = replicas;
+    job.phase = CharmJobPhase::kLaunching;
+    owner_.controller_->when_ready(exec.job_name,
+                                   [this, id, replicas](const std::string&) {
+                                     on_pods_ready(id, replicas);
+                                   });
+    owner_.jobs_.add(std::move(job));
+  }
+
+  void on_pods_ready(JobId id, int replicas) {
+    schedsim::JobExec& exec = this->exec(id);
+    if (exec.started) return;
+    exec.started = true;
+    exec.replicas = replicas;
+    const double now = sim().now();
+    exec.record.start_time = now;
+    exec.accrue_from = now;
+    owner_.jobs_.mutate(exec.job_name,
+                        [](CharmJob& j) { j.phase = CharmJobPhase::kRunning; });
+    schedule_completion(id);
+    record_replicas(id, replicas);
+    EHPC_DEBUG("opk", "job %d started with %d replicas at t=%.1f", id,
+               replicas, now);
+  }
+
+  /// Wait until the app's next iteration boundary, apply the rescale pause,
+  /// then run `after_ack` at ack time.
+  void rescale_at_boundary(JobId id, int target,
+                           std::function<void()> after_ack) {
+    // Signal delivery, then wait for the application's next iteration
+    // boundary (Charm++ rescales at the next load-balancing step).
+    sim().schedule_after(owner_.config_.signal_latency_s, [this, id, target,
+                                                           after_ack] {
+      schedsim::JobExec& exec = this->exec(id);
+      if (exec.done) return;
+      const double now = sim().now();
+      const double step = exec.step_time();
+      double boundary = now;
+      if (now >= exec.accrue_from) {
+        const double into_step = std::fmod(now - exec.accrue_from, step);
+        boundary = now + (step - into_step);
+      } else {
+        boundary = exec.accrue_from;  // paused: honour the signal at resume
+      }
+      sim().schedule_at(boundary, [this, id, target, boundary, after_ack] {
+        schedsim::JobExec& exec = this->exec(id);
+        if (exec.done) return;
+        const int old_replicas = exec.replicas;
+        exec.accrue_until(boundary);  // progress at the old rate
+        const double overhead =
+            exec.workload.rescale.overhead_s(old_replicas, target);
+        exec.replicas = target;
+        exec.accrue_from = boundary + overhead;
+        note_rescale();
+        owner_.jobs_.mutate(exec.job_name, [](CharmJob& j) {
+          j.phase = CharmJobPhase::kResizing;
+        });
+        schedule_completion(id);
+        record_replicas(id, target);
+        // Ack fires once the rescale completes inside the application.
+        sim().schedule_at(exec.accrue_from, [this, id, after_ack] {
+          schedsim::JobExec& exec2 = this->exec(id);
+          if (exec2.done) return;
+          owner_.jobs_.mutate(exec2.job_name, [](CharmJob& j) {
+            j.phase = CharmJobPhase::kRunning;
+          });
+          after_ack();
+        });
+      });
+    });
+  }
+
+  void shrink_job(JobId id, int target) override {
+    schedsim::JobExec& exec = this->exec(id);
+    EHPC_EXPECTS(exec.started && !exec.done);
+    const std::string job_name = exec.job_name;
+    // Paper §3.1 shrink: signal first; only after the acknowledgment are the
+    // surplus pods removed (desired_replicas drop triggers the controller).
+    rescale_at_boundary(id, target, [this, job_name, target] {
+      if (!owner_.jobs_.contains(job_name)) return;
+      owner_.jobs_.mutate(job_name,
+                          [target](CharmJob& j) { j.desired_replicas = target; });
+    });
+  }
+
+  void expand_job(JobId id, int target) override {
+    schedsim::JobExec& exec = this->exec(id);
+    EHPC_EXPECTS(exec.started && !exec.done);
+    const std::string job_name = exec.job_name;
+    // Paper §3.1 expand: add pods, update the nodelist, then signal.
+    owner_.jobs_.mutate(job_name,
+                        [target](CharmJob& j) { j.desired_replicas = target; });
+    owner_.controller_->when_ready(job_name,
+                                   [this, id, target](const std::string&) {
+                                     if (this->exec(id).done) return;
+                                     rescale_at_boundary(id, target, [] {});
+                                   });
+  }
+
+  void on_job_completed(schedsim::JobExec& exec) override {
+    owner_.jobs_.mutate(exec.job_name, [](CharmJob& j) {
+      j.phase = CharmJobPhase::kCompleted;
+    });
+    EHPC_DEBUG("opk", "job %d completed at t=%.1f", exec.record.id,
+               sim().now());
+  }
+
+  ClusterExperiment& owner_;
+};
 
 ClusterExperiment::ClusterExperiment(
     ExperimentConfig config,
@@ -18,223 +165,23 @@ ClusterExperiment::ClusterExperiment(
     : config_(config),
       workloads_(std::move(workloads)),
       cluster_(config.cluster) {
-  EHPC_EXPECTS(!workloads_.empty());
   cluster_.add_nodes("node", config_.nodes,
                      k8s::Resources{config_.cpus_per_node, 32768});
   controller_ = std::make_unique<CharmJobController>(cluster_, jobs_,
                                                      config_.controller);
-  engine_ = std::make_unique<elastic::PolicyEngine>(
-      config_.nodes * config_.cpus_per_node, config_.policy);
-  collector_ = std::make_unique<elastic::MetricsCollector>(
-      config_.nodes * config_.cpus_per_node);
+  harness_ = std::make_unique<Harness>(*this);
 
   // Physical utilization trace: every pod transition updates the profile.
   cluster_.pods().watch([this](k8s::WatchEvent, const k8s::Pod&) {
-    const int used = cluster_.bound_cpus();
-    const double total = static_cast<double>(cluster_.total_cpus());
-    collector_->record_usage(cluster_.sim().now(),
-                             std::min(used, cluster_.total_cpus()));
-    trace_.record("util", cluster_.sim().now(),
-                  static_cast<double>(used) / total);
+    harness_->record_physical_usage();
   });
 }
+
+ClusterExperiment::~ClusterExperiment() = default;
 
 schedsim::SimResult ClusterExperiment::run(
     const std::vector<schedsim::SubmittedJob>& mix) {
-  EHPC_EXPECTS(!used_);
-  EHPC_EXPECTS(!mix.empty());
-  used_ = true;
-
-  for (const auto& job : mix) {
-    auto it = workloads_.find(job.job_class);
-    EHPC_EXPECTS(it != workloads_.end());
-    Exec exec;
-    exec.workload = it->second;
-    exec.job_name = job.spec.name.empty()
-                        ? "job-" + std::to_string(job.spec.id)
-                        : job.spec.name;
-    exec.remaining_steps = exec.workload.total_steps;
-    exec.record.id = job.spec.id;
-    exec.record.priority = job.spec.priority;
-    exec.record.submit_time = job.submit_time;
-    execs_.emplace(job.spec.id, std::move(exec));
-    cluster_.sim().schedule_at(job.submit_time, [this, job] { submit(job); });
-  }
-  cluster_.sim().run();
-
-  schedsim::SimResult result;
-  for (auto& [id, exec] : execs_) {
-    EHPC_ENSURES(exec.done);
-    collector_->add_job(exec.record);
-    result.jobs.push_back(exec.record);
-  }
-  result.metrics = collector_->compute();
-  result.trace = std::move(trace_);
-  result.rescale_count = rescale_count_;
-  return result;
-}
-
-void ClusterExperiment::submit(const schedsim::SubmittedJob& job) {
-  auto actions = engine_->submit(job.spec, cluster_.sim().now());
-  apply_actions(actions);
-}
-
-void ClusterExperiment::apply_actions(const std::vector<Action>& actions) {
-  for (const Action& a : actions) {
-    switch (a.type) {
-      case ActionType::kStart:
-        start_job(a.job, a.target_replicas);
-        break;
-      case ActionType::kShrink:
-        shrink_job(a.job, a.target_replicas);
-        break;
-      case ActionType::kExpand:
-        expand_job(a.job, a.target_replicas);
-        break;
-      case ActionType::kEnqueue:
-        break;
-    }
-  }
-}
-
-void ClusterExperiment::record_replicas(JobId id, int replicas) {
-  trace_.record("job." + std::to_string(id) + ".replicas",
-                cluster_.sim().now(), static_cast<double>(replicas));
-}
-
-void ClusterExperiment::start_job(JobId id, int replicas) {
-  Exec& exec = execs_.at(id);
-  EHPC_EXPECTS(!exec.started);
-  CharmJob job;
-  job.meta.name = exec.job_name;
-  job.job = engine_->job(id).spec;
-  job.desired_replicas = replicas;
-  job.phase = CharmJobPhase::kLaunching;
-  controller_->when_ready(exec.job_name,
-                          [this, id, replicas](const std::string&) {
-                            on_pods_ready(id, replicas);
-                          });
-  jobs_.add(std::move(job));
-}
-
-void ClusterExperiment::on_pods_ready(JobId id, int replicas) {
-  Exec& exec = execs_.at(id);
-  if (exec.started) return;
-  exec.started = true;
-  exec.active_replicas = replicas;
-  const double now = cluster_.sim().now();
-  exec.record.start_time = now;
-  exec.accrue_from = now;
-  jobs_.mutate(exec.job_name,
-               [](CharmJob& j) { j.phase = CharmJobPhase::kRunning; });
-  schedule_completion(id);
-  record_replicas(id, replicas);
-  EHPC_DEBUG("opk", "job %d started with %d replicas at t=%.1f", id, replicas,
-             now);
-}
-
-void ClusterExperiment::schedule_completion(JobId id) {
-  Exec& exec = execs_.at(id);
-  if (exec.completion_event != sim::kInvalidEvent) {
-    cluster_.sim().cancel(exec.completion_event);
-  }
-  const double step = exec.workload.time_per_step.at_clamped(
-      static_cast<double>(exec.active_replicas));
-  const double finish = exec.accrue_from + exec.remaining_steps * step;
-  exec.completion_event = cluster_.sim().schedule_at(
-      std::max(finish, cluster_.sim().now()), [this, id] { complete_job(id); });
-}
-
-void ClusterExperiment::rescale_at_boundary(JobId id, int target,
-                                            std::function<void()> after_ack) {
-  // Signal delivery, then wait for the application's next iteration
-  // boundary (Charm++ rescales at the next load-balancing step).
-  cluster_.sim().schedule_after(config_.signal_latency_s, [this, id, target,
-                                                           after_ack] {
-    Exec& exec = execs_.at(id);
-    if (exec.done) return;
-    const double now = cluster_.sim().now();
-    const double step = exec.workload.time_per_step.at_clamped(
-        static_cast<double>(exec.active_replicas));
-    double boundary = now;
-    if (now >= exec.accrue_from) {
-      const double into_step = std::fmod(now - exec.accrue_from, step);
-      boundary = now + (step - into_step);
-    } else {
-      boundary = exec.accrue_from;  // paused: honour the signal at resume
-    }
-    cluster_.sim().schedule_at(boundary, [this, id, target, boundary,
-                                          after_ack] {
-      Exec& exec = execs_.at(id);
-      if (exec.done) return;
-      const int old_replicas = exec.active_replicas;
-      const double step_old = exec.workload.time_per_step.at_clamped(
-          static_cast<double>(old_replicas));
-      if (boundary > exec.accrue_from) {
-        exec.remaining_steps = std::max(
-            0.0, exec.remaining_steps - (boundary - exec.accrue_from) / step_old);
-      }
-      const double overhead =
-          exec.workload.rescale.overhead_s(old_replicas, target);
-      exec.active_replicas = target;
-      exec.accrue_from = boundary + overhead;
-      ++rescale_count_;
-      jobs_.mutate(exec.job_name,
-                   [](CharmJob& j) { j.phase = CharmJobPhase::kResizing; });
-      schedule_completion(id);
-      record_replicas(id, target);
-      // Ack fires once the rescale completes inside the application.
-      cluster_.sim().schedule_at(exec.accrue_from, [this, id, after_ack] {
-        Exec& exec2 = execs_.at(id);
-        if (exec2.done) return;
-        jobs_.mutate(exec2.job_name,
-                     [](CharmJob& j) { j.phase = CharmJobPhase::kRunning; });
-        after_ack();
-      });
-    });
-  });
-}
-
-void ClusterExperiment::shrink_job(JobId id, int target) {
-  Exec& exec = execs_.at(id);
-  EHPC_EXPECTS(exec.started && !exec.done);
-  const std::string job_name = exec.job_name;
-  // Paper §3.1 shrink: signal first; only after the acknowledgment are the
-  // surplus pods removed (desired_replicas drop triggers the controller).
-  rescale_at_boundary(id, target, [this, job_name, target] {
-    if (!jobs_.contains(job_name)) return;
-    jobs_.mutate(job_name,
-                 [target](CharmJob& j) { j.desired_replicas = target; });
-  });
-}
-
-void ClusterExperiment::expand_job(JobId id, int target) {
-  Exec& exec = execs_.at(id);
-  EHPC_EXPECTS(exec.started && !exec.done);
-  const std::string job_name = exec.job_name;
-  // Paper §3.1 expand: add pods, update the nodelist, then signal.
-  jobs_.mutate(job_name,
-               [target](CharmJob& j) { j.desired_replicas = target; });
-  controller_->when_ready(job_name, [this, id, target](const std::string&) {
-    Exec& exec2 = execs_.at(id);
-    if (exec2.done) return;
-    rescale_at_boundary(id, target, [] {});
-  });
-}
-
-void ClusterExperiment::complete_job(JobId id) {
-  Exec& exec = execs_.at(id);
-  EHPC_ENSURES(!exec.done);
-  exec.done = true;
-  exec.remaining_steps = 0.0;
-  exec.completion_event = sim::kInvalidEvent;
-  exec.record.complete_time = cluster_.sim().now();
-  record_replicas(id, 0);
-  jobs_.mutate(exec.job_name,
-               [](CharmJob& j) { j.phase = CharmJobPhase::kCompleted; });
-  auto actions = engine_->complete(id, cluster_.sim().now());
-  apply_actions(actions);
-  EHPC_DEBUG("opk", "job %d completed at t=%.1f", id, cluster_.sim().now());
+  return harness_->run(mix);
 }
 
 }  // namespace ehpc::opk

@@ -2,17 +2,15 @@
 
 #include <map>
 #include <memory>
-#include <string>
 #include <vector>
 
-#include "elastic/metrics.hpp"
 #include "elastic/policy.hpp"
 #include "elastic/workload.hpp"
 #include "k8s/cluster.hpp"
 #include "opk/charmjob.hpp"
 #include "opk/controller.hpp"
+#include "schedsim/exec.hpp"
 #include "schedsim/jobmix.hpp"
-#include "schedsim/simulator.hpp"
 
 namespace ehpc::opk {
 
@@ -33,10 +31,15 @@ struct ExperimentConfig {
 /// shrink frees capacity only after the signal→iteration-boundary→rescale→
 /// ack→pod-deletion handshake, and expand waits for new pods to run before
 /// signalling. The resulting metrics are the "Actual" column of Table 1.
+///
+/// Job bookkeeping and the policy-driven run loop live in the shared
+/// `schedsim::ExecHarness`; this class supplies the operator-level
+/// realisation of every action.
 class ClusterExperiment {
  public:
   ClusterExperiment(ExperimentConfig config,
                     std::map<elastic::JobClass, elastic::Workload> workloads);
+  ~ClusterExperiment();
 
   /// Execute one job mix to completion. Single-shot per instance.
   schedsim::SimResult run(const std::vector<schedsim::SubmittedJob>& mix);
@@ -45,43 +48,14 @@ class ClusterExperiment {
   CharmJobController& controller() { return *controller_; }
 
  private:
-  struct Exec {
-    elastic::Workload workload;
-    std::string job_name;
-    double remaining_steps = 0.0;
-    int active_replicas = 0;  ///< replicas the application is running at
-    double accrue_from = 0.0;
-    sim::EventId completion_event = sim::kInvalidEvent;
-    elastic::JobRecord record;
-    bool started = false;
-    bool done = false;
-  };
-
-  void submit(const schedsim::SubmittedJob& job);
-  void apply_actions(const std::vector<elastic::Action>& actions);
-  void start_job(elastic::JobId id, int replicas);
-  void on_pods_ready(elastic::JobId id, int replicas);
-  void shrink_job(elastic::JobId id, int target);
-  void expand_job(elastic::JobId id, int target);
-  /// Wait until the app's next iteration boundary, apply the rescale pause,
-  /// then run `after_ack` at ack time.
-  void rescale_at_boundary(elastic::JobId id, int target,
-                           std::function<void()> after_ack);
-  void complete_job(elastic::JobId id);
-  void schedule_completion(elastic::JobId id);
-  void record_replicas(elastic::JobId id, int replicas);
+  class Harness;
 
   ExperimentConfig config_;
   std::map<elastic::JobClass, elastic::Workload> workloads_;
   k8s::Cluster cluster_;
   k8s::ObjectStore<CharmJob> jobs_;
   std::unique_ptr<CharmJobController> controller_;
-  std::unique_ptr<elastic::PolicyEngine> engine_;
-  std::map<elastic::JobId, Exec> execs_;
-  std::unique_ptr<elastic::MetricsCollector> collector_;
-  sim::TraceRecorder trace_;
-  int rescale_count_ = 0;
-  bool used_ = false;
+  std::unique_ptr<Harness> harness_;
 };
 
 }  // namespace ehpc::opk

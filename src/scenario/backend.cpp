@@ -1,0 +1,65 @@
+#include "scenario/backend.hpp"
+
+#include <utility>
+
+#include "opk/experiment.hpp"
+#include "schedsim/calibrate.hpp"
+#include "schedsim/simulator.hpp"
+
+namespace ehpc::scenario {
+
+SchedSimBackend::SchedSimBackend(
+    const ScenarioSpec& spec, elastic::PolicyConfig policy,
+    std::map<elastic::JobClass, elastic::Workload> workloads)
+    : simulator_(spec.total_slots(), policy, std::move(workloads)) {}
+
+schedsim::SimResult SchedSimBackend::run(
+    const std::vector<schedsim::SubmittedJob>& mix) {
+  return simulator_.run(mix);
+}
+
+ClusterBackend::ClusterBackend(
+    const ScenarioSpec& spec, elastic::PolicyConfig policy,
+    std::map<elastic::JobClass, elastic::Workload> workloads)
+    : spec_(spec), policy_(policy), workloads_(std::move(workloads)) {}
+
+schedsim::SimResult ClusterBackend::run(
+    const std::vector<schedsim::SubmittedJob>& mix) {
+  opk::ExperimentConfig config;
+  config.nodes = spec_.nodes;
+  config.cpus_per_node = spec_.cpus_per_node;
+  config.policy = policy_;
+  opk::ClusterExperiment experiment(config, workloads_);
+  return experiment.run(mix);
+}
+
+elastic::PolicyConfig policy_for(const ScenarioSpec& spec,
+                                 elastic::PolicyMode mode) {
+  elastic::PolicyConfig config;
+  config.mode = mode;
+  config.rescale_gap_s = spec.rescale_gap_s;
+  return config;
+}
+
+std::map<elastic::JobClass, elastic::Workload> workloads_for(
+    const ScenarioSpec& spec) {
+  return spec.calibrated ? schedsim::calibrated_workloads()
+                         : schedsim::analytic_workloads();
+}
+
+std::vector<schedsim::SubmittedJob> make_mix(const ScenarioSpec& spec,
+                                             unsigned seed) {
+  schedsim::JobMixGenerator generator(seed);
+  return generator.generate(spec.num_jobs, spec.submission_gap_s);
+}
+
+std::unique_ptr<ExperimentBackend> make_backend(
+    const ScenarioSpec& spec, const elastic::PolicyConfig& policy,
+    const std::map<elastic::JobClass, elastic::Workload>& workloads) {
+  if (spec.substrate == Substrate::kCluster) {
+    return std::make_unique<ClusterBackend>(spec, policy, workloads);
+  }
+  return std::make_unique<SchedSimBackend>(spec, policy, workloads);
+}
+
+}  // namespace ehpc::scenario

@@ -1,0 +1,136 @@
+#include "scenario/registry.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ehpc::scenario {
+
+using elastic::PolicyMode;
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  EHPC_EXPECTS(!spec.name.empty());
+  spec.validate();
+  if (find(spec.name) != nullptr) {
+    throw ConfigError("scenario '" + spec.name + "' already registered");
+  }
+  scenarios_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& spec : scenarios_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+const ScenarioSpec& ScenarioRegistry::require(const std::string& name) const {
+  if (const ScenarioSpec* spec = find(name)) return *spec;
+  std::string msg = "unknown scenario '" + name + "'; known scenarios:";
+  for (const auto& spec : scenarios_) msg += " " + spec.name;
+  throw ConfigError(msg);
+}
+
+ScenarioRegistry::ScenarioRegistry() {
+  // The paper's experiments. Sweep values match the figures; benches may
+  // override repeats/seed from their flags.
+  ScenarioSpec policy_compare;
+  policy_compare.name = "policy_compare";
+  policy_compare.description =
+      "Four policies averaged over random mixes on the performance simulator "
+      "(paper §4.3.1 setup)";
+  add(policy_compare);
+
+  ScenarioSpec fig7;
+  fig7.name = "fig7_submission_gap";
+  fig7.description =
+      "Figure 7: scheduler metrics vs job submission gap, T_rescale_gap 180 s";
+  fig7.rescale_gap_s = 180.0;
+  fig7.axis = SweepAxis::kSubmissionGap;
+  fig7.axis_values = {0, 30, 60, 90, 120, 180, 240, 300};
+  add(fig7);
+
+  ScenarioSpec fig8;
+  fig8.name = "fig8_rescale_gap";
+  fig8.description =
+      "Figure 8: scheduler metrics vs T_rescale_gap at a fixed submission gap "
+      "(elastic converges to moldable)";
+  fig8.submission_gap_s = 90.0;
+  fig8.axis = SweepAxis::kRescaleGap;
+  fig8.axis_values = {0, 60, 120, 180, 300, 600, 900, 1200};
+  add(fig8);
+
+  ScenarioSpec table1;
+  table1.name = "table1";
+  table1.description =
+      "Table 1: one deterministic mix; the bench runs it on both substrates "
+      "for the Simulation and Actual columns";
+  table1.submission_gap_s = 90.0;
+  table1.rescale_gap_s = 180.0;
+  table1.repeats = 1;
+  add(table1);
+
+  ScenarioSpec fig9;
+  fig9.name = "fig9_cluster";
+  fig9.description =
+      "Figure 9: one job set on the Kubernetes substrate under all four "
+      "policies, with every operator-level overhead";
+  fig9.substrate = Substrate::kCluster;
+  fig9.submission_gap_s = 90.0;
+  fig9.rescale_gap_s = 180.0;
+  fig9.repeats = 1;
+  add(fig9);
+
+  ScenarioSpec quickstart;
+  quickstart.name = "quickstart";
+  quickstart.description =
+      "Three-job shrink demo on the Kubernetes substrate under the elastic "
+      "policy (examples/quickstart)";
+  quickstart.substrate = Substrate::kCluster;
+  quickstart.num_jobs = 3;
+  quickstart.rescale_gap_s = 30.0;
+  quickstart.policies = {PolicyMode::kElastic};
+  quickstart.repeats = 1;
+  add(quickstart);
+
+  ScenarioSpec burst;
+  burst.name = "burst_arrival";
+  burst.description =
+      "Stress scenario beyond the paper: 32 jobs submitted back-to-back "
+      "(gap 0) to maximise contention and rescale churn";
+  burst.num_jobs = 32;
+  burst.submission_gap_s = 0.0;
+  burst.repeats = 20;
+  add(burst);
+}
+
+std::vector<std::string> scenario_config_keys() {
+  std::vector<std::string> keys = spec_config_keys();
+  keys.insert(keys.begin(), "scenario");
+  return keys;
+}
+
+ScenarioSpec resolve_scenario(const Config& cfg,
+                              const std::string& default_name) {
+  const std::string name = cfg.get_or("scenario", default_name);
+  ScenarioSpec base;
+  if (!name.empty()) base = ScenarioRegistry::instance().require(name);
+  return spec_from_config(cfg, std::move(base));
+}
+
+std::string list_scenarios_text() {
+  std::string out;
+  for (const auto& spec : ScenarioRegistry::instance().scenarios()) {
+    out += spec.name + "\n    " + spec.description + "\n    " +
+           describe(spec) + "\n";
+  }
+  out += "\nconfig keys (override any scenario field):\n" + spec_config_help();
+  return out;
+}
+
+}  // namespace ehpc::scenario

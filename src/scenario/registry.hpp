@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "scenario/spec.hpp"
+
+namespace ehpc::scenario {
+
+/// Process-wide catalogue of named scenarios. Ships with the paper's
+/// experiments pre-registered (see registry.cpp); benches, examples and
+/// tests look scenarios up by name instead of hand-wiring parameters, and
+/// user code may `add()` its own.
+class ScenarioRegistry {
+ public:
+  /// The singleton, with built-in scenarios already registered.
+  static ScenarioRegistry& instance();
+
+  /// Register a scenario; names must be unique and non-empty.
+  void add(ScenarioSpec spec);
+
+  /// nullptr when `name` is not registered.
+  const ScenarioSpec* find(const std::string& name) const;
+
+  /// Like find(), but raises ConfigError listing the known names.
+  const ScenarioSpec& require(const std::string& name) const;
+
+  /// All scenarios, in registration order.
+  const std::vector<ScenarioSpec>& scenarios() const { return scenarios_; }
+
+ private:
+  ScenarioRegistry();
+
+  std::vector<ScenarioSpec> scenarios_;
+};
+
+/// `spec_config_keys()` plus the "scenario" selector key — the allow-list
+/// for binaries that accept a full scenario description on the command line.
+std::vector<std::string> scenario_config_keys();
+
+/// Build a spec from strict command-line config: start from the registry
+/// entry named by `scenario=` (or `default_name`, or paper defaults when
+/// both are empty) and overlay any per-key overrides.
+ScenarioSpec resolve_scenario(const Config& cfg,
+                              const std::string& default_name = "");
+
+/// Human-readable registry listing: one block per scenario with its
+/// description and effective spec, followed by the known config keys.
+std::string list_scenarios_text();
+
+}  // namespace ehpc::scenario

@@ -1,0 +1,192 @@
+#include "scenario/spec.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace ehpc::scenario {
+
+using elastic::PolicyMode;
+
+std::string to_string(Substrate s) {
+  switch (s) {
+    case Substrate::kSchedSim: return "schedsim";
+    case Substrate::kCluster: return "cluster";
+  }
+  return "?";
+}
+
+Substrate substrate_from_string(const std::string& name) {
+  if (name == "schedsim" || name == "sim") return Substrate::kSchedSim;
+  if (name == "cluster" || name == "k8s") return Substrate::kCluster;
+  throw ConfigError("unknown substrate '" + name +
+                    "'; known: schedsim cluster");
+}
+
+std::string to_string(SweepAxis a) {
+  switch (a) {
+    case SweepAxis::kNone: return "none";
+    case SweepAxis::kSubmissionGap: return "submission_gap";
+    case SweepAxis::kRescaleGap: return "rescale_gap";
+  }
+  return "?";
+}
+
+SweepAxis sweep_axis_from_string(const std::string& name) {
+  if (name == "none") return SweepAxis::kNone;
+  if (name == "submission_gap") return SweepAxis::kSubmissionGap;
+  if (name == "rescale_gap") return SweepAxis::kRescaleGap;
+  throw ConfigError("unknown sweep axis '" + name +
+                    "'; known: none submission_gap rescale_gap");
+}
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<PolicyMode> parse_policies(const std::string& text) {
+  if (text == "all") {
+    return {PolicyMode::kRigidMin, PolicyMode::kRigidMax, PolicyMode::kMoldable,
+            PolicyMode::kElastic};
+  }
+  std::vector<PolicyMode> out;
+  for (const auto& item : split_list(text)) {
+    try {
+      out.push_back(elastic::policy_mode_from_string(item));
+    } catch (const std::exception&) {
+      throw ConfigError("unknown policy '" + item +
+                        "'; known: min_replicas max_replicas moldable elastic "
+                        "(or 'all')");
+    }
+  }
+  if (out.empty()) throw ConfigError("policies list is empty: '" + text + "'");
+  return out;
+}
+
+std::vector<double> parse_values(const std::string& text) {
+  std::vector<double> out;
+  for (const auto& item : split_list(text)) {
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str(), &end);
+    if (end != item.c_str() + item.size()) {
+      throw ConfigError("bad sweep value '" + item + "' in '" + text + "'");
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+std::string join_policies(const std::vector<PolicyMode>& policies) {
+  std::string out;
+  for (const auto mode : policies) {
+    if (!out.empty()) out += ',';
+    out += elastic::to_string(mode);
+  }
+  return out;
+}
+
+std::string join_values(const std::vector<double>& values) {
+  std::string out;
+  for (const double v : values) {
+    if (!out.empty()) out += ',';
+    // No int cast: arbitrary user-supplied values may exceed int range.
+    out += format_double(v, std::floor(v) == v ? 0 : 3);
+  }
+  return out;
+}
+
+}  // namespace
+
+void ScenarioSpec::validate() const {
+  auto fail = [this](const std::string& what) {
+    throw ConfigError("scenario '" + name + "': " + what);
+  };
+  if (nodes <= 0) fail("nodes must be positive");
+  if (cpus_per_node <= 0) fail("cpus_per_node must be positive");
+  if (num_jobs <= 0) fail("num_jobs must be positive");
+  if (submission_gap_s < 0.0) fail("submission_gap must be non-negative");
+  if (rescale_gap_s < 0.0) fail("rescale_gap must be non-negative");
+  if (repeats <= 0) fail("repeats must be positive");
+  if (policies.empty()) fail("policies must not be empty");
+  if (axis != SweepAxis::kNone && axis_values.empty()) {
+    fail("sweep axis '" + to_string(axis) + "' needs sweep_values");
+  }
+  if (axis == SweepAxis::kNone && !axis_values.empty()) {
+    fail("sweep_values given but sweep_axis is 'none'");
+  }
+}
+
+const std::vector<std::string>& spec_config_keys() {
+  static const std::vector<std::string> kKeys{
+      "substrate",      "nodes",      "cpus_per_node", "num_jobs",
+      "submission_gap", "rescale_gap", "calibrated",   "policies",
+      "sweep_axis",     "sweep_values", "repeats",     "seed"};
+  return kKeys;
+}
+
+std::string spec_config_help() {
+  return
+      "  substrate=schedsim      schedsim | cluster (k8s emulation)\n"
+      "  nodes=4                 emulated cluster nodes\n"
+      "  cpus_per_node=16        vCPUs per node\n"
+      "  num_jobs=16             jobs per random mix\n"
+      "  submission_gap=90       seconds between submissions\n"
+      "  rescale_gap=180         T_rescale_gap in seconds\n"
+      "  calibrated=true         minicharm-calibrated step-time curves\n"
+      "  policies=all            comma list: min_replicas,max_replicas,"
+      "moldable,elastic\n"
+      "  sweep_axis=none         none | submission_gap | rescale_gap\n"
+      "  sweep_values=...        comma list of swept parameter values\n"
+      "  repeats=100             random mixes averaged per point\n"
+      "  seed=2025               base RNG seed (repeat r uses seed + r)\n";
+}
+
+ScenarioSpec spec_from_config(const Config& cfg, ScenarioSpec base) {
+  ScenarioSpec spec = std::move(base);
+  if (auto v = cfg.get("substrate")) spec.substrate = substrate_from_string(*v);
+  spec.nodes = cfg.get_int("nodes", spec.nodes);
+  spec.cpus_per_node = cfg.get_int("cpus_per_node", spec.cpus_per_node);
+  spec.num_jobs = cfg.get_int("num_jobs", spec.num_jobs);
+  spec.submission_gap_s = cfg.get_double("submission_gap", spec.submission_gap_s);
+  spec.rescale_gap_s = cfg.get_double("rescale_gap", spec.rescale_gap_s);
+  spec.calibrated = cfg.get_bool("calibrated", spec.calibrated);
+  if (auto v = cfg.get("policies")) spec.policies = parse_policies(*v);
+  if (auto v = cfg.get("sweep_axis")) spec.axis = sweep_axis_from_string(*v);
+  if (auto v = cfg.get("sweep_values")) spec.axis_values = parse_values(*v);
+  spec.seed = static_cast<unsigned>(
+      cfg.get_int("seed", static_cast<int>(spec.seed)));
+  spec.repeats = cfg.get_int("repeats", spec.repeats);
+  spec.validate();
+  return spec;
+}
+
+std::string describe(const ScenarioSpec& spec) {
+  std::string out = "substrate=" + to_string(spec.substrate);
+  out += " nodes=" + std::to_string(spec.nodes);
+  out += " cpus_per_node=" + std::to_string(spec.cpus_per_node);
+  out += " num_jobs=" + std::to_string(spec.num_jobs);
+  out += " submission_gap=" + format_double(spec.submission_gap_s, 0);
+  out += " rescale_gap=" + format_double(spec.rescale_gap_s, 0);
+  out += std::string(" calibrated=") + (spec.calibrated ? "true" : "false");
+  out += " policies=" + join_policies(spec.policies);
+  out += " sweep_axis=" + to_string(spec.axis);
+  if (!spec.axis_values.empty()) {
+    out += " sweep_values=" + join_values(spec.axis_values);
+  }
+  out += " repeats=" + std::to_string(spec.repeats);
+  out += " seed=" + std::to_string(spec.seed);
+  return out;
+}
+
+}  // namespace ehpc::scenario

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "elastic/policy.hpp"
+
+namespace ehpc::scenario {
+
+/// Which execution substrate realises the policy's decisions (§4.3): the
+/// pure scheduler-performance simulator, or the emulated Kubernetes cluster
+/// with the full operator/pod/handshake machinery.
+enum class Substrate { kSchedSim, kCluster };
+
+std::string to_string(Substrate s);
+/// Parse "schedsim" / "cluster"; throws ConfigError on anything else.
+Substrate substrate_from_string(const std::string& name);
+
+/// The parameter an experiment sweeps, one point per value.
+enum class SweepAxis { kNone, kSubmissionGap, kRescaleGap };
+
+std::string to_string(SweepAxis a);
+/// Parse "none" / "submission_gap" / "rescale_gap"; throws ConfigError.
+SweepAxis sweep_axis_from_string(const std::string& name);
+
+/// Declarative description of one experiment: cluster shape, job-mix
+/// generation, policy configuration, substrate choice, sweep axis and
+/// repeat/seed bookkeeping. Every bench, example and test describes its
+/// experiment as a ScenarioSpec (usually starting from a named registry
+/// entry) and hands it to the scenario runner; nothing below this layer
+/// hand-wires experiment loops anymore.
+struct ScenarioSpec {
+  std::string name = "custom";  ///< registry key; "custom" when ad hoc
+  std::string description;
+  Substrate substrate = Substrate::kSchedSim;
+
+  // Cluster shape (paper §4.1: 4 × c6g.4xlarge = 64 vCPUs).
+  int nodes = 4;
+  int cpus_per_node = 16;
+
+  // Job-mix generation (§4.3.1): `num_jobs` random jobs submitted
+  // `submission_gap_s` apart, step-time curves either minicharm-calibrated
+  // or analytic.
+  int num_jobs = 16;
+  double submission_gap_s = 90.0;
+  bool calibrated = true;
+
+  // Policy configuration shared by every policy in `policies`.
+  double rescale_gap_s = 180.0;
+  std::vector<elastic::PolicyMode> policies{
+      elastic::PolicyMode::kRigidMin, elastic::PolicyMode::kRigidMax,
+      elastic::PolicyMode::kMoldable, elastic::PolicyMode::kElastic};
+
+  // Sweep: one point per `axis_values` entry, overriding the swept
+  // parameter; kNone runs a single point at the spec's own values.
+  SweepAxis axis = SweepAxis::kNone;
+  std::vector<double> axis_values;
+
+  int repeats = 100;    ///< random mixes averaged per point
+  unsigned seed = 2025; ///< base RNG seed; repeat r uses seed + r
+
+  int total_slots() const { return nodes * cpus_per_node; }
+
+  /// Throw ConfigError on inconsistent parameters (non-positive counts, a
+  /// sweep axis without values, an empty policy list, ...).
+  void validate() const;
+};
+
+/// The strict `Config` keys `apply_config` understands, for
+/// `Config::from_args` allow-lists and `--list-scenarios` output.
+const std::vector<std::string>& spec_config_keys();
+
+/// One help line per config key ("key=default  description").
+std::string spec_config_help();
+
+/// Overlay `cfg`'s scenario keys onto `base` and validate the result.
+/// Unknown keys are the caller's concern (strict parsing); bad values
+/// (unparseable substrate/axis/policy names) raise ConfigError.
+ScenarioSpec spec_from_config(const Config& cfg, ScenarioSpec base = {});
+
+/// Compact "key=value ..." rendering of a spec (for --list-scenarios and
+/// recorded bench configs).
+std::string describe(const ScenarioSpec& spec);
+
+}  // namespace ehpc::scenario

@@ -1,0 +1,144 @@
+#include "schedsim/exec.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ehpc::schedsim {
+
+using elastic::Action;
+using elastic::ActionType;
+using elastic::JobId;
+
+void JobExec::accrue_until(double now) {
+  if (now > accrue_from) {
+    remaining_steps =
+        std::max(0.0, remaining_steps - (now - accrue_from) / step_time());
+  }
+}
+
+double JobExec::remaining_fraction(double now) const {
+  if (done || workload.total_steps <= 0.0) return 0.0;
+  double remaining = remaining_steps;
+  if (started && now > accrue_from) {
+    remaining = std::max(0.0, remaining - (now - accrue_from) / step_time());
+  }
+  return remaining / workload.total_steps;
+}
+
+ExecHarness::ExecHarness(
+    sim::Simulation& sim, int total_slots, const elastic::PolicyConfig& policy,
+    const std::map<elastic::JobClass, elastic::Workload>& workloads)
+    : sim_(sim), total_slots_(total_slots), workloads_(workloads) {
+  EHPC_EXPECTS(total_slots_ > 0);
+  EHPC_EXPECTS(!workloads_.empty());
+  engine_ = std::make_unique<elastic::PolicyEngine>(total_slots_, policy);
+  // Remaining work fraction for cost/benefit-aware expansion (paper §6).
+  engine_->set_progress_provider([this](JobId id) {
+    return execs_.at(id).remaining_fraction(sim_.now());
+  });
+  collector_ = std::make_unique<elastic::MetricsCollector>(total_slots_);
+}
+
+ExecHarness::~ExecHarness() = default;
+
+void ExecHarness::init_exec(JobExec&, const SubmittedJob&) {}
+
+void ExecHarness::on_actions_applied() {}
+
+void ExecHarness::on_job_completed(JobExec&) {}
+
+SimResult ExecHarness::run(const std::vector<SubmittedJob>& mix) {
+  EHPC_EXPECTS(!used_);  // single-shot per harness instance
+  EHPC_EXPECTS(!mix.empty());
+  used_ = true;
+
+  for (const SubmittedJob& job : mix) {
+    auto it = workloads_.find(job.job_class);
+    EHPC_EXPECTS(it != workloads_.end());
+    JobExec exec;
+    exec.workload = it->second;
+    exec.remaining_steps = exec.workload.total_steps;
+    exec.record.id = job.spec.id;
+    exec.record.priority = job.spec.priority;
+    exec.record.submit_time = job.submit_time;
+    init_exec(exec, job);
+    execs_.emplace(job.spec.id, std::move(exec));
+    sim_.schedule_at(job.submit_time, [this, job] { submit(job); });
+  }
+  sim_.run();
+
+  SimResult result;
+  for (auto& [id, exec] : execs_) {
+    EHPC_ENSURES(exec.done);  // every job must finish
+    collector_->add_job(exec.record);
+    result.jobs.push_back(exec.record);
+  }
+  result.metrics = collector_->compute();
+  result.trace = std::move(trace_);
+  result.rescale_count = rescale_count_;
+  return result;
+}
+
+void ExecHarness::submit(const SubmittedJob& job) {
+  auto actions = engine_->submit(job.spec, sim_.now());
+  apply_actions(actions);
+  on_actions_applied();
+}
+
+void ExecHarness::apply_actions(const std::vector<Action>& actions) {
+  for (const Action& a : actions) {
+    switch (a.type) {
+      case ActionType::kStart:
+        start_job(a.job, a.target_replicas);
+        break;
+      case ActionType::kShrink:
+        shrink_job(a.job, a.target_replicas);
+        break;
+      case ActionType::kExpand:
+        expand_job(a.job, a.target_replicas);
+        break;
+      case ActionType::kEnqueue:
+        break;  // nothing to execute
+    }
+  }
+}
+
+void ExecHarness::schedule_completion(JobId id) {
+  JobExec& exec = execs_.at(id);
+  if (exec.completion_event != sim::kInvalidEvent) {
+    sim_.cancel(exec.completion_event);
+  }
+  const double finish = exec.accrue_from + exec.remaining_steps * exec.step_time();
+  exec.completion_event = sim_.schedule_at(std::max(finish, sim_.now()),
+                                           [this, id] { complete_job(id); });
+}
+
+void ExecHarness::complete_job(JobId id) {
+  JobExec& exec = execs_.at(id);
+  EHPC_ENSURES(!exec.done);
+  exec.done = true;
+  exec.remaining_steps = 0.0;
+  exec.completion_event = sim::kInvalidEvent;
+  exec.record.complete_time = sim_.now();
+  record_replicas(id, 0);
+  on_job_completed(exec);
+  auto actions = engine_->complete(id, sim_.now());
+  apply_actions(actions);
+  on_actions_applied();
+}
+
+void ExecHarness::record_replicas(JobId id, int replicas) {
+  trace_.record("job." + std::to_string(id) + ".replicas", sim_.now(),
+                static_cast<double>(replicas));
+}
+
+void ExecHarness::record_engine_usage() {
+  const int used = engine_->used_slots();
+  collector_->record_usage(sim_.now(), used);
+  trace_.record("util", sim_.now(),
+                static_cast<double>(used) / static_cast<double>(total_slots_));
+}
+
+}  // namespace ehpc::schedsim

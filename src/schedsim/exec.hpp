@@ -1,0 +1,136 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "elastic/metrics.hpp"
+#include "elastic/policy.hpp"
+#include "elastic/workload.hpp"
+#include "schedsim/jobmix.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace ehpc::schedsim {
+
+/// Output of one experiment run, produced identically by both substrates
+/// (the pure performance simulator and the Kubernetes emulation) so their
+/// metrics are directly comparable.
+struct SimResult {
+  elastic::RunMetrics metrics;
+  std::vector<elastic::JobRecord> jobs;
+  /// Step traces: "util" (used slots / total) and "job.<id>.replicas".
+  sim::TraceRecorder trace;
+  int rescale_count = 0;  ///< shrink+expand operations executed
+};
+
+/// Per-job execution bookkeeping shared by every experiment substrate: the
+/// workload model, progress accounting in virtual time, and the lifecycle
+/// record. Replaces the formerly duplicated `Exec` structs of
+/// `SchedSimulator` and `ClusterExperiment`.
+struct JobExec {
+  elastic::Workload workload;
+  std::string job_name;  ///< CharmJob CR name on the cluster substrate
+  double remaining_steps = 0.0;
+  int replicas = 0;  ///< replicas progress accrues at; 0 before start
+  /// Virtual time from which progress accrues at the current rate; during a
+  /// rescale pause this sits in the future.
+  double accrue_from = 0.0;
+  sim::EventId completion_event = sim::kInvalidEvent;
+  elastic::JobRecord record;
+  bool started = false;
+  bool done = false;
+
+  /// Seconds per step at the current replica count.
+  double step_time() const {
+    return workload.time_per_step.at_clamped(static_cast<double>(replicas));
+  }
+
+  /// Fold progress accrued up to `now` into `remaining_steps`. Must be
+  /// called before `replicas` changes, since the rate is the current one.
+  void accrue_until(double now);
+
+  /// Fraction of work still remaining as of `now` (1 = just started,
+  /// 0 = done), without mutating state. Feeds the policy engine's
+  /// cost/benefit-aware expansion hook.
+  double remaining_fraction(double now) const;
+};
+
+/// Substrate-agnostic experiment harness: owns the PolicyEngine, the shared
+/// per-job `JobExec` table, metrics collection and tracing, and drives one
+/// job mix to completion over a virtual-time Simulation. Substrates
+/// specialise only how policy actions are *realised* (instantly in the pure
+/// simulator; through the operator's pod/handshake machinery on the
+/// Kubernetes substrate) by overriding the protected hooks.
+///
+/// Single-shot: one `run()` per harness instance.
+class ExecHarness {
+ public:
+  /// `workloads` is borrowed and must outlive the harness (both substrate
+  /// shells keep it as a member).
+  ExecHarness(sim::Simulation& sim, int total_slots,
+              const elastic::PolicyConfig& policy,
+              const std::map<elastic::JobClass, elastic::Workload>& workloads);
+  virtual ~ExecHarness();
+
+  ExecHarness(const ExecHarness&) = delete;
+  ExecHarness& operator=(const ExecHarness&) = delete;
+
+  /// Execute one job mix to completion and collect metrics/traces.
+  SimResult run(const std::vector<SubmittedJob>& mix);
+
+  elastic::PolicyEngine& engine() { return *engine_; }
+  elastic::MetricsCollector& collector() { return *collector_; }
+  int total_slots() const { return total_slots_; }
+
+ protected:
+  // ---- substrate hooks ----
+  /// Launch a queued job with `replicas` workers.
+  virtual void start_job(elastic::JobId id, int replicas) = 0;
+  /// Rescale a running job down to `target` replicas.
+  virtual void shrink_job(elastic::JobId id, int target) = 0;
+  /// Rescale a running job up to `target` replicas.
+  virtual void expand_job(elastic::JobId id, int target) = 0;
+  /// Populate substrate-specific JobExec fields (e.g. the CR name).
+  virtual void init_exec(JobExec& exec, const SubmittedJob& job);
+  /// Called whenever a batch of policy actions has been applied (after each
+  /// submit and completion). The pure simulator records the engine's
+  /// utilization view here; the cluster substrate records physical pod
+  /// usage through its own watch instead.
+  virtual void on_actions_applied();
+  /// Called when a job finishes, after its record/trace updates but before
+  /// the policy engine reacts to the completion.
+  virtual void on_job_completed(JobExec& exec);
+
+  // ---- shared machinery available to substrates ----
+  void apply_actions(const std::vector<elastic::Action>& actions);
+  /// (Re)schedule the completion event from remaining work and pause state.
+  void schedule_completion(elastic::JobId id);
+  void complete_job(elastic::JobId id);
+  /// Append to the "job.<id>.replicas" step trace at the current time.
+  void record_replicas(elastic::JobId id, int replicas);
+  /// Record the policy engine's used-slot count into metrics + "util" trace.
+  void record_engine_usage();
+  void note_rescale() { ++rescale_count_; }
+
+  sim::Simulation& sim() { return sim_; }
+  JobExec& exec(elastic::JobId id) { return execs_.at(id); }
+  std::map<elastic::JobId, JobExec>& execs() { return execs_; }
+  sim::TraceRecorder& trace() { return trace_; }
+
+ private:
+  void submit(const SubmittedJob& job);
+
+  sim::Simulation& sim_;
+  int total_slots_;
+  const std::map<elastic::JobClass, elastic::Workload>& workloads_;
+  std::unique_ptr<elastic::PolicyEngine> engine_;
+  std::map<elastic::JobId, JobExec> execs_;
+  std::unique_ptr<elastic::MetricsCollector> collector_;
+  sim::TraceRecorder trace_;
+  int rescale_count_ = 0;
+  bool used_ = false;
+};
+
+}  // namespace ehpc::schedsim

@@ -1,6 +1,5 @@
 #include "schedsim/simulator.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
@@ -8,9 +7,64 @@
 
 namespace ehpc::schedsim {
 
-using elastic::Action;
-using elastic::ActionType;
 using elastic::JobId;
+
+namespace {
+
+/// ExecHarness specialisation for the pure performance simulator: actions
+/// take effect instantly — starts accrue progress immediately and rescales
+/// pause the job only for the modeled 4-stage overhead.
+class SimHarness final : public ExecHarness {
+ public:
+  using ExecHarness::ExecHarness;
+
+ private:
+  void start_job(JobId id, int replicas) override {
+    JobExec& e = exec(id);
+    EHPC_EXPECTS(!e.started);
+    e.started = true;
+    e.replicas = replicas;
+    e.record.start_time = sim().now();
+    // The paper's simulator ignores pod/operator startup: progress accrues
+    // immediately.
+    e.accrue_from = sim().now();
+    schedule_completion(id);
+    record_replicas(id, replicas);
+  }
+
+  void shrink_job(JobId id, int target) override { resize_job(id, target); }
+  void expand_job(JobId id, int target) override { resize_job(id, target); }
+
+  void on_actions_applied() override { record_engine_usage(); }
+
+  void resize_job(JobId id, int new_replicas) {
+    JobExec& e = exec(id);
+    EHPC_EXPECTS(e.started && !e.done);
+    const int old_replicas = e.replicas;
+    if (new_replicas == old_replicas) return;
+
+    const double now = sim().now();
+    double pause_base = now;
+    if (now > e.accrue_from) {
+      // Progress accrued since the last change (at the old rate).
+      e.accrue_until(now);
+    } else {
+      // Still paused by a previous rescale: the new overhead stacks.
+      pause_base = e.accrue_from;
+    }
+    const double overhead =
+        e.workload.rescale.overhead_s(old_replicas, new_replicas);
+    e.replicas = new_replicas;
+    e.accrue_from = pause_base + overhead;
+    note_rescale();
+    schedule_completion(id);
+    record_replicas(id, new_replicas);
+    EHPC_DEBUG("schedsim", "job %d resized %d -> %d (overhead %.2fs)", id,
+               old_replicas, new_replicas, overhead);
+  }
+};
+
+}  // namespace
 
 SchedSimulator::SchedSimulator(
     int total_slots, elastic::PolicyConfig policy,
@@ -23,150 +77,10 @@ SchedSimulator::SchedSimulator(
 }
 
 SimResult SchedSimulator::run(const std::vector<SubmittedJob>& mix) {
-  EHPC_EXPECTS(!mix.empty());
   // Fresh state per run: the simulator object is reusable.
-  sim_ = std::make_unique<sim::Simulation>();
-  engine_ = std::make_unique<elastic::PolicyEngine>(total_slots_, policy_config_);
-  engine_->set_progress_provider([this](JobId id) {
-    // Remaining work fraction for cost/benefit-aware expansion (paper §6).
-    const Exec& e = execs_.at(id);
-    if (e.done || e.workload.total_steps <= 0.0) return 0.0;
-    double remaining = e.remaining_steps;
-    const double now = sim_->now();
-    if (e.started && now > e.accrue_from) {
-      const double step = e.workload.time_per_step.at_clamped(
-          static_cast<double>(e.replicas));
-      remaining = std::max(0.0, remaining - (now - e.accrue_from) / step);
-    }
-    return remaining / e.workload.total_steps;
-  });
-  execs_.clear();
-  collector_ = std::make_unique<elastic::MetricsCollector>(total_slots_);
-  trace_ = sim::TraceRecorder{};
-  rescale_count_ = 0;
-
-  for (const SubmittedJob& job : mix) {
-    auto it = workloads_.find(job.job_class);
-    EHPC_EXPECTS(it != workloads_.end());
-    Exec exec;
-    exec.workload = it->second;
-    exec.remaining_steps = exec.workload.total_steps;
-    exec.record.id = job.spec.id;
-    exec.record.priority = job.spec.priority;
-    exec.record.submit_time = job.submit_time;
-    execs_.emplace(job.spec.id, std::move(exec));
-    sim_->schedule_at(job.submit_time, [this, job] { submit(job); });
-  }
-  sim_->run();
-
-  SimResult result;
-  for (auto& [id, exec] : execs_) {
-    EHPC_ENSURES(exec.done);  // every job must finish
-    collector_->add_job(exec.record);
-    result.jobs.push_back(exec.record);
-  }
-  result.metrics = collector_->compute();
-  result.trace = std::move(trace_);
-  result.rescale_count = rescale_count_;
-  return result;
-}
-
-void SchedSimulator::submit(const SubmittedJob& job) {
-  auto actions = engine_->submit(job.spec, sim_->now());
-  apply_actions(actions);
-  record_usage();
-}
-
-void SchedSimulator::apply_actions(const std::vector<Action>& actions) {
-  for (const Action& a : actions) {
-    switch (a.type) {
-      case ActionType::kStart:
-        start_job(a.job, a.target_replicas);
-        break;
-      case ActionType::kShrink:
-      case ActionType::kExpand:
-        resize_job(a.job, a.target_replicas);
-        break;
-      case ActionType::kEnqueue:
-        break;  // nothing to execute
-    }
-  }
-}
-
-void SchedSimulator::schedule_completion(JobId id) {
-  Exec& exec = execs_.at(id);
-  if (exec.completion_event != sim::kInvalidEvent) {
-    sim_->cancel(exec.completion_event);
-  }
-  const double step =
-      exec.workload.time_per_step.at_clamped(static_cast<double>(exec.replicas));
-  const double finish = exec.accrue_from + exec.remaining_steps * step;
-  exec.completion_event =
-      sim_->schedule_at(std::max(finish, sim_->now()), [this, id] { complete_job(id); });
-}
-
-void SchedSimulator::start_job(JobId id, int replicas) {
-  Exec& exec = execs_.at(id);
-  EHPC_EXPECTS(!exec.started);
-  exec.started = true;
-  exec.replicas = replicas;
-  exec.record.start_time = sim_->now();
-  // The paper's simulator ignores pod/operator startup: progress accrues
-  // immediately.
-  exec.accrue_from = sim_->now();
-  schedule_completion(id);
-  trace_.record("job." + std::to_string(id) + ".replicas", sim_->now(),
-                static_cast<double>(replicas));
-}
-
-void SchedSimulator::resize_job(JobId id, int new_replicas) {
-  Exec& exec = execs_.at(id);
-  EHPC_EXPECTS(exec.started && !exec.done);
-  const int old_replicas = exec.replicas;
-  if (new_replicas == old_replicas) return;
-
-  const double now = sim_->now();
-  const double old_step = exec.workload.time_per_step.at_clamped(
-      static_cast<double>(old_replicas));
-  double pause_base = now;
-  if (now > exec.accrue_from) {
-    // Progress accrued since the last change.
-    exec.remaining_steps =
-        std::max(0.0, exec.remaining_steps - (now - exec.accrue_from) / old_step);
-  } else {
-    // Still paused by a previous rescale: the new overhead stacks.
-    pause_base = exec.accrue_from;
-  }
-  const double overhead =
-      exec.workload.rescale.overhead_s(old_replicas, new_replicas);
-  exec.replicas = new_replicas;
-  exec.accrue_from = pause_base + overhead;
-  ++rescale_count_;
-  schedule_completion(id);
-  trace_.record("job." + std::to_string(id) + ".replicas", now,
-                static_cast<double>(new_replicas));
-  EHPC_DEBUG("schedsim", "job %d resized %d -> %d (overhead %.2fs)", id,
-             old_replicas, new_replicas, overhead);
-}
-
-void SchedSimulator::complete_job(JobId id) {
-  Exec& exec = execs_.at(id);
-  EHPC_ENSURES(!exec.done);
-  exec.done = true;
-  exec.remaining_steps = 0.0;
-  exec.completion_event = sim::kInvalidEvent;
-  exec.record.complete_time = sim_->now();
-  trace_.record("job." + std::to_string(id) + ".replicas", sim_->now(), 0.0);
-  auto actions = engine_->complete(id, sim_->now());
-  apply_actions(actions);
-  record_usage();
-}
-
-void SchedSimulator::record_usage() {
-  const int used = engine_->used_slots();
-  collector_->record_usage(sim_->now(), used);
-  trace_.record("util", sim_->now(),
-                static_cast<double>(used) / static_cast<double>(total_slots_));
+  sim::Simulation sim;
+  SimHarness harness(sim, total_slots_, policy_config_, workloads_);
+  return harness.run(mix);
 }
 
 }  // namespace ehpc::schedsim

@@ -1,26 +1,14 @@
 #pragma once
 
 #include <map>
-#include <memory>
 #include <vector>
 
-#include "elastic/metrics.hpp"
 #include "elastic/policy.hpp"
 #include "elastic/workload.hpp"
+#include "schedsim/exec.hpp"
 #include "schedsim/jobmix.hpp"
-#include "sim/simulation.hpp"
-#include "sim/trace.hpp"
 
 namespace ehpc::schedsim {
-
-/// Output of one simulated experiment run.
-struct SimResult {
-  elastic::RunMetrics metrics;
-  std::vector<elastic::JobRecord> jobs;
-  /// Step traces: "util" (used slots / total) and "job.<id>.replicas".
-  sim::TraceRecorder trace;
-  int rescale_count = 0;  ///< shrink+expand operations executed
-};
 
 /// The paper's scheduler-performance simulator (artifact A2 equivalent,
 /// §4.3.1): jobs are modeled by their piecewise-linear step-time curves and
@@ -29,6 +17,9 @@ struct SimResult {
 /// operator or by Kubernetes to start up the pods"). Scheduling decisions
 /// come from the shared PolicyEngine, so the simulator and the Kubernetes
 /// substrate exercise identical policy code.
+///
+/// A thin shell over the shared `ExecHarness` bookkeeping: every `run()`
+/// spins up a fresh virtual-time simulation, so the object is reusable.
 class SchedSimulator {
  public:
   SchedSimulator(int total_slots, elastic::PolicyConfig policy,
@@ -38,37 +29,9 @@ class SchedSimulator {
   SimResult run(const std::vector<SubmittedJob>& mix);
 
  private:
-  struct Exec {
-    elastic::Workload workload;
-    double remaining_steps = 0.0;
-    int replicas = 0;
-    /// Virtual time from which progress accrues at the current rate; during
-    /// a rescale pause this sits in the future.
-    double accrue_from = 0.0;
-    sim::EventId completion_event = sim::kInvalidEvent;
-    elastic::JobRecord record;
-    bool started = false;
-    bool done = false;
-  };
-
-  void submit(const SubmittedJob& job);
-  void apply_actions(const std::vector<elastic::Action>& actions);
-  void start_job(elastic::JobId id, int replicas);
-  void resize_job(elastic::JobId id, int new_replicas);
-  void complete_job(elastic::JobId id);
-  void schedule_completion(elastic::JobId id);
-  void record_usage();
-
   int total_slots_;
   elastic::PolicyConfig policy_config_;
   std::map<elastic::JobClass, elastic::Workload> workloads_;
-
-  std::unique_ptr<sim::Simulation> sim_;
-  std::unique_ptr<elastic::PolicyEngine> engine_;
-  std::map<elastic::JobId, Exec> execs_;
-  std::unique_ptr<elastic::MetricsCollector> collector_;
-  sim::TraceRecorder trace_;
-  int rescale_count_ = 0;
 };
 
 }  // namespace ehpc::schedsim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "schedsim/calibrate.hpp"
+#include "schedsim/simulator.hpp"
 
 namespace ehpc::opk {
 namespace {

@@ -1,0 +1,86 @@
+#include "scenario/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ehpc::scenario {
+namespace {
+
+TEST(ScenarioRegistry, BuiltInScenariosAreRegistered) {
+  auto& registry = ScenarioRegistry::instance();
+  for (const char* name :
+       {"policy_compare", "fig7_submission_gap", "fig8_rescale_gap", "table1",
+        "fig9_cluster", "quickstart", "burst_arrival"}) {
+    const ScenarioSpec* spec = registry.find(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_EQ(spec->name, name);
+    EXPECT_FALSE(spec->description.empty()) << name;
+    EXPECT_NO_THROW(spec->validate()) << name;
+  }
+}
+
+TEST(ScenarioRegistry, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& spec : ScenarioRegistry::instance().scenarios()) {
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+  }
+}
+
+TEST(ScenarioRegistry, SweepScenariosMatchTheFigures) {
+  auto& registry = ScenarioRegistry::instance();
+  const ScenarioSpec& fig7 = registry.require("fig7_submission_gap");
+  EXPECT_EQ(fig7.axis, SweepAxis::kSubmissionGap);
+  EXPECT_EQ(fig7.axis_values.size(), 8u);
+  const ScenarioSpec& fig8 = registry.require("fig8_rescale_gap");
+  EXPECT_EQ(fig8.axis, SweepAxis::kRescaleGap);
+  EXPECT_EQ(fig8.axis_values.size(), 8u);
+  const ScenarioSpec& fig9 = registry.require("fig9_cluster");
+  EXPECT_EQ(fig9.substrate, Substrate::kCluster);
+  EXPECT_EQ(fig9.repeats, 1);
+}
+
+TEST(ScenarioRegistry, FindReturnsNullForUnknown) {
+  EXPECT_EQ(ScenarioRegistry::instance().find("nope"), nullptr);
+}
+
+TEST(ScenarioRegistry, RequireListsKnownNamesOnError) {
+  try {
+    ScenarioRegistry::instance().require("nope");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("nope"), std::string::npos);
+    EXPECT_NE(what.find("fig7_submission_gap"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, ResolveScenarioOverlaysConfig) {
+  const char* argv[] = {"test", "scenario=fig7_submission_gap", "repeats=3"};
+  const Config cfg = Config::from_args(3, argv, scenario_config_keys());
+  const ScenarioSpec spec = resolve_scenario(cfg);
+  EXPECT_EQ(spec.name, "fig7_submission_gap");
+  EXPECT_EQ(spec.repeats, 3);
+  EXPECT_EQ(spec.axis, SweepAxis::kSubmissionGap);
+}
+
+TEST(ScenarioRegistry, ResolveScenarioUsesDefaultName) {
+  const char* argv[] = {"test"};
+  const Config cfg = Config::from_args(1, argv, scenario_config_keys());
+  EXPECT_EQ(resolve_scenario(cfg, "quickstart").name, "quickstart");
+  EXPECT_EQ(resolve_scenario(cfg).name, "custom");  // paper defaults
+}
+
+TEST(ScenarioRegistry, ListScenariosTextMentionsEveryScenarioAndKey) {
+  const std::string text = list_scenarios_text();
+  for (const auto& spec : ScenarioRegistry::instance().scenarios()) {
+    EXPECT_NE(text.find(spec.name), std::string::npos) << spec.name;
+    EXPECT_NE(text.find(spec.description), std::string::npos) << spec.name;
+  }
+  for (const auto& key : spec_config_keys()) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace ehpc::scenario

@@ -1,0 +1,116 @@
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace ehpc::scenario {
+namespace {
+
+using elastic::PolicyMode;
+
+Config config_of(std::vector<const char*> args) {
+  args.insert(args.begin(), "test");
+  return Config::from_args(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ScenarioSpec, DefaultsMatchThePaperSetup) {
+  const ScenarioSpec spec;
+  EXPECT_EQ(spec.substrate, Substrate::kSchedSim);
+  EXPECT_EQ(spec.total_slots(), 64);  // 4 nodes x 16 vCPUs
+  EXPECT_EQ(spec.num_jobs, 16);
+  EXPECT_DOUBLE_EQ(spec.submission_gap_s, 90.0);
+  EXPECT_DOUBLE_EQ(spec.rescale_gap_s, 180.0);
+  EXPECT_EQ(spec.policies.size(), 4u);
+  EXPECT_EQ(spec.repeats, 100);
+  EXPECT_EQ(spec.seed, 2025u);
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(ScenarioSpec, ConfigOverlaysEveryKey) {
+  const auto cfg = config_of(
+      {"substrate=cluster", "nodes=2", "cpus_per_node=8", "num_jobs=5",
+       "submission_gap=10", "rescale_gap=20", "calibrated=false",
+       "policies=elastic,moldable", "sweep_axis=submission_gap",
+       "sweep_values=0,30,60", "repeats=7", "seed=11"});
+  const ScenarioSpec spec = spec_from_config(cfg);
+  EXPECT_EQ(spec.substrate, Substrate::kCluster);
+  EXPECT_EQ(spec.total_slots(), 16);
+  EXPECT_EQ(spec.num_jobs, 5);
+  EXPECT_DOUBLE_EQ(spec.submission_gap_s, 10.0);
+  EXPECT_DOUBLE_EQ(spec.rescale_gap_s, 20.0);
+  EXPECT_FALSE(spec.calibrated);
+  ASSERT_EQ(spec.policies.size(), 2u);
+  EXPECT_EQ(spec.policies[0], PolicyMode::kElastic);
+  EXPECT_EQ(spec.policies[1], PolicyMode::kMoldable);
+  EXPECT_EQ(spec.axis, SweepAxis::kSubmissionGap);
+  EXPECT_EQ(spec.axis_values, (std::vector<double>{0.0, 30.0, 60.0}));
+  EXPECT_EQ(spec.repeats, 7);
+  EXPECT_EQ(spec.seed, 11u);
+}
+
+TEST(ScenarioSpec, UnsetKeysKeepTheBaseSpec) {
+  ScenarioSpec base;
+  base.num_jobs = 42;
+  base.substrate = Substrate::kCluster;
+  const ScenarioSpec spec = spec_from_config(config_of({"seed=3"}), base);
+  EXPECT_EQ(spec.num_jobs, 42);
+  EXPECT_EQ(spec.substrate, Substrate::kCluster);
+  EXPECT_EQ(spec.seed, 3u);
+}
+
+TEST(ScenarioSpec, PoliciesAllExpandsToAllFour) {
+  const ScenarioSpec spec = spec_from_config(config_of({"policies=all"}));
+  EXPECT_EQ(spec.policies.size(), 4u);
+}
+
+TEST(ScenarioSpec, BadValuesRaiseConfigError) {
+  EXPECT_THROW(spec_from_config(config_of({"substrate=cloud"})), ConfigError);
+  EXPECT_THROW(spec_from_config(config_of({"sweep_axis=priority"})),
+               ConfigError);
+  EXPECT_THROW(spec_from_config(config_of({"policies=greedy"})), ConfigError);
+  EXPECT_THROW(spec_from_config(config_of({"policies="})), ConfigError);
+  EXPECT_THROW(
+      spec_from_config(config_of({"sweep_axis=rescale_gap",
+                                  "sweep_values=1,x"})),
+      ConfigError);
+}
+
+TEST(ScenarioSpec, ValidateRejectsInconsistentSpecs) {
+  ScenarioSpec spec;
+  spec.num_jobs = 0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = ScenarioSpec{};
+  spec.axis = SweepAxis::kRescaleGap;  // no values
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = ScenarioSpec{};
+  spec.axis_values = {1.0};  // values without an axis
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = ScenarioSpec{};
+  spec.policies.clear();
+  EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(ScenarioSpec, DescribeRoundTripsThroughConfigKeys) {
+  ScenarioSpec spec;
+  spec.axis = SweepAxis::kSubmissionGap;
+  spec.axis_values = {0, 30};
+  const std::string text = describe(spec);
+  // Every token of the description must be a known config key.
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    ASSERT_NE(eq, std::string::npos) << token;
+    const std::string key = token.substr(0, eq);
+    const auto& keys = spec_config_keys();
+    EXPECT_NE(std::find(keys.begin(), keys.end(), key), keys.end()) << key;
+  }
+}
+
+}  // namespace
+}  // namespace ehpc::scenario
