@@ -12,9 +12,11 @@
 //
 // See bench_compare for diffing the output against a committed baseline.
 
+#include <cmath>
 #include <iostream>
 
 #include "bench/lib/runner.hpp"
+#include "charm/load_balancer.hpp"
 #include "bench/lib/timer.hpp"
 #include "common/table.hpp"
 #include "scenario/registry.hpp"
@@ -28,14 +30,30 @@ namespace {
 /// same layout the figure benches use.
 void report_sweep(bench::Reporter& rep, const scenario::ScenarioSpec& spec,
                   const scenario::SweepResult& sweep) {
-  const std::string x_label = spec.axis == scenario::SweepAxis::kNone
-                                  ? "x"
-                                  : to_string(spec.axis) + "_s";
-  const std::vector<std::pair<std::string, double elastic::RunMetrics::*>>
+  const bool axis_in_seconds =
+      spec.axis == scenario::SweepAxis::kSubmissionGap ||
+      spec.axis == scenario::SweepAxis::kRescaleGap;
+  const std::string x_label =
+      spec.axis == scenario::SweepAxis::kNone
+          ? "x"
+          : to_string(spec.axis) + (axis_in_seconds ? "_s" : "");
+  const auto x_cell = [&](double x) {
+    if (spec.axis == scenario::SweepAxis::kLbStrategy) {
+      return charm::load_balancer_names().at(static_cast<std::size_t>(x));
+    }
+    return format_double(x, std::floor(x) == x ? 0 : 3);
+  };
+  std::vector<std::pair<std::string, double elastic::RunMetrics::*>>
       metrics{{"utilization", &elastic::RunMetrics::utilization},
               {"total_time_s", &elastic::RunMetrics::total_time_s},
               {"response_s", &elastic::RunMetrics::weighted_response_s},
               {"completion_s", &elastic::RunMetrics::weighted_completion_s}};
+  // LB imbalance health matters exactly when the runtime LB has real work.
+  if (spec.app == "amr") {
+    metrics.emplace_back("lb_post_ratio", &elastic::RunMetrics::lb_post_ratio);
+    metrics.emplace_back("lb_migrations_per_step",
+                         &elastic::RunMetrics::lb_migrations_per_step);
+  }
 
   for (const auto& [id, member] : metrics) {
     std::vector<std::string> headers{x_label};
@@ -45,7 +63,7 @@ void report_sweep(bench::Reporter& rep, const scenario::ScenarioSpec& spec,
     Table& table =
         rep.add_table(id, id + " per policy (" + spec.name + ")", headers);
     for (const auto& point : sweep.points) {
-      std::vector<std::string> row{format_double(point.x, 0)};
+      std::vector<std::string> row{x_cell(point.x)};
       for (const auto mode : spec.policies) {
         row.push_back(format_double(point.metrics.at(mode).*member, 3));
       }

@@ -1,0 +1,259 @@
+#include "apps/amr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ehpc::apps {
+
+using charm::Chare;
+using charm::Pup;
+using charm::ReduceOp;
+using charm::Runtime;
+
+AmrBlock::AmrBlock(int real_cells, int num_neighbors)
+    : num_neighbors_(num_neighbors) {
+  EHPC_EXPECTS(real_cells >= 1);
+  data_.assign(static_cast<std::size_t>(real_cells), 0.0);
+  // A deterministic non-uniform initial profile so relaxation has work.
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = (i % 2 == 0) ? 1.0 : 0.0;
+  }
+}
+
+void AmrBlock::pup(Pup& p) {
+  p | num_neighbors_;
+  p | level_;
+  p | iteration_;
+  p | recv_count_;
+  p | started_;
+  p | data_;
+  p | ghost_left_;
+  p | ghost_right_;
+}
+
+std::vector<double> AmrBlock::flux(Dir d) const {
+  const std::size_t n =
+      std::min<std::size_t>(kFluxDoubles, data_.size());
+  std::vector<double> out;
+  out.reserve(n);
+  if (d == kLeft) {
+    for (std::size_t i = 0; i < n; ++i) out.push_back(data_[i]);
+  } else {
+    for (std::size_t i = data_.size() - n; i < data_.size(); ++i) {
+      out.push_back(data_[i]);
+    }
+  }
+  return out;
+}
+
+void AmrBlock::apply_flux(Dir d, const std::vector<double>& values) {
+  if (d == kLeft) {
+    ghost_left_ = values;
+  } else {
+    ghost_right_ = values;
+  }
+  ++recv_count_;
+}
+
+double AmrBlock::compute() {
+  const auto ghost_mean = [](const std::vector<double>& g) {
+    if (g.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double v : g) sum += v;
+    return sum / static_cast<double>(g.size());
+  };
+  const double left = ghost_mean(ghost_left_);
+  const double right = ghost_mean(ghost_right_);
+  const std::size_t n = data_.size();
+  double delta = 0.0;
+  std::vector<double> next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = (i == 0) ? left : data_[i - 1];
+    const double hi = (i + 1 == n) ? right : data_[i + 1];
+    next[i] = 0.5 * data_[i] + 0.25 * (lo + hi);
+    delta = std::max(delta, std::abs(next[i] - data_[i]));
+  }
+  data_ = std::move(next);
+  ++iteration_;
+  recv_count_ = 0;
+  started_ = false;
+  return delta;
+}
+
+void AmrBlock::change_level(int delta, int new_real_cells) {
+  EHPC_EXPECTS(delta == 1 || delta == -1);
+  EHPC_EXPECTS(new_real_cells >= 1);
+  const std::size_t n = static_cast<std::size_t>(new_real_cells);
+  std::vector<double> next(n);
+  if (data_.empty()) {
+    std::fill(next.begin(), next.end(), 0.0);
+  } else if (delta > 0) {
+    // Refine: piecewise-constant prolongation of the existing profile.
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = data_[i * data_.size() / n];
+    }
+  } else {
+    // Coarsen: average the fine cells that land in each coarse cell.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t lo = i * data_.size() / n;
+      const std::size_t hi = std::max(lo + 1, (i + 1) * data_.size() / n);
+      double sum = 0.0;
+      for (std::size_t j = lo; j < hi && j < data_.size(); ++j) sum += data_[j];
+      next[i] = sum / static_cast<double>(hi - lo);
+    }
+  }
+  data_ = std::move(next);
+  level_ += delta;
+  EHPC_ENSURES(level_ >= 0);
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double Amr::event_draw(unsigned seed, int elem, int iteration) {
+  std::uint64_t key = static_cast<std::uint64_t>(seed);
+  key = splitmix64(key ^ (static_cast<std::uint64_t>(elem) << 32));
+  key = splitmix64(key ^ static_cast<std::uint64_t>(iteration));
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
+
+Amr::Amr(Runtime& rt, AmrConfig config) : rt_(rt), config_(config) {
+  EHPC_EXPECTS(config_.blocks >= 2);
+  EHPC_EXPECTS(config_.cells_per_block >= 1);
+  EHPC_EXPECTS(config_.max_real_cells >= 1);
+  EHPC_EXPECTS(config_.max_depth >= 0);
+  EHPC_EXPECTS(config_.refine_rate >= 0.0 && config_.refine_rate <= 1.0);
+  EHPC_EXPECTS(config_.coarsen_rate >= 0.0 && config_.coarsen_rate <= 1.0);
+  EHPC_EXPECTS(config_.refine_rate + config_.coarsen_rate <= 1.0);
+  EHPC_EXPECTS(config_.max_iterations > 0);
+
+  base_edge_ = std::max(
+      1, static_cast<int>(std::lround(std::sqrt(config_.cells_per_block))));
+
+  const int real0 = real_cells_at(0);
+  array_ = rt_.create_array("amr", config_.blocks, [real0](charm::ElementId) {
+    // Fresh patches start on the base mesh; pup overwrites level and data
+    // when the factory rebuilds an element after a restart.
+    return std::make_unique<AmrBlock>(real0, /*num_neighbors=*/2);
+  });
+
+  // Checkpoint/migration costs are charged at model scale (base mesh; the
+  // runtime scales actual pup sizes, which already grow with refinement).
+  const double model_block_bytes =
+      static_cast<double>(config_.cells_per_block) * sizeof(double);
+  const double real_block_bytes = static_cast<double>(real0) * sizeof(double);
+  rt_.set_bytes_scale(array_,
+                      std::max(1.0, model_block_bytes / real_block_bytes));
+
+  driver_ = std::make_unique<IterationDriver>(
+      rt_, array_, config_.max_iterations, [this](int iter) { kick(iter); });
+}
+
+double Amr::model_cells(int level) const {
+  return static_cast<double>(config_.cells_per_block) *
+         std::pow(4.0, static_cast<double>(level));
+}
+
+int Amr::real_cells_at(int level) const {
+  const double model = model_cells(level);
+  return static_cast<int>(
+      std::min<double>(model, config_.max_real_cells));
+}
+
+int Amr::level_of(int e) const {
+  return static_cast<const AmrBlock&>(rt_.element(array_, e)).level();
+}
+
+double Amr::total_model_cells() const {
+  double total = 0.0;
+  for (int e = 0; e < config_.blocks; ++e) total += model_cells(level_of(e));
+  return total;
+}
+
+double Amr::model_bytes() const { return total_model_cells() * sizeof(double); }
+
+void Amr::apply_refinement_event(int elem, AmrBlock& block) {
+  // A refinement front sweeps the ring: patches within an eighth of the
+  // ring refine at 3x the base rate, everyone else decays towards the base
+  // mesh. The draw is counter-based, so the decision for (patch, iteration)
+  // is the same whatever PE the patch sits on.
+  const int iter = block.iteration();
+  const double front = std::fmod(
+      config_.front_speed * static_cast<double>(iter),
+      static_cast<double>(config_.blocks));
+  double dist = std::abs(static_cast<double>(elem) - front);
+  dist = std::min(dist, static_cast<double>(config_.blocks) - dist);
+  const bool near_front =
+      dist <= static_cast<double>(config_.blocks) / 8.0;
+  const double refine_p =
+      std::min(1.0, config_.refine_rate * (near_front ? 3.0 : 0.5));
+  const double coarsen_p =
+      std::min(1.0 - refine_p, config_.coarsen_rate * (near_front ? 0.5 : 3.0));
+
+  const double u = event_draw(config_.seed, elem, iter);
+  if (u < refine_p && block.level() < config_.max_depth) {
+    block.change_level(+1, real_cells_at(block.level() + 1));
+  } else if (u >= 1.0 - coarsen_p && block.level() > 0) {
+    block.change_level(-1, real_cells_at(block.level() - 1));
+  }
+}
+
+void Amr::maybe_compute(int elem, AmrBlock& block, Runtime& rt) {
+  if (!block.ready_to_compute()) return;
+  const double cells = model_cells(block.level());
+  rt.charge_flops(config_.flops_per_cell * cells);
+  block.compute();
+  // The event for iteration i is applied after computing it: it reshapes
+  // the mesh the *next* iteration runs on.
+  apply_refinement_event(elem, block);
+  rt.contribute(array_, cells, ReduceOp::kSum);
+}
+
+void Amr::send_flux(int from, AmrBlock::Dir d) {
+  const int to = d == AmrBlock::kLeft
+                     ? (from + config_.blocks - 1) % config_.blocks
+                     : (from + 1) % config_.blocks;
+  auto& src = static_cast<AmrBlock&>(rt_.element(array_, from));
+  std::vector<double> data = src.flux(d);
+  // Declared message cost is the model-scale boundary of the finer side.
+  const std::size_t bytes =
+      static_cast<std::size_t>(base_edge_ << src.level()) * sizeof(double);
+  const AmrBlock::Dir recv_dir =
+      d == AmrBlock::kLeft ? AmrBlock::kRight : AmrBlock::kLeft;
+  rt_.send(array_, to, bytes,
+           [this, to, recv_dir, data = std::move(data)](Chare& c, Runtime& rt) {
+             auto& block = static_cast<AmrBlock&>(c);
+             block.apply_flux(recv_dir, data);
+             maybe_compute(to, block, rt);
+           });
+}
+
+void Amr::kick(int /*iteration*/) {
+  // "Start iteration": every patch publishes its boundary fluxes, then
+  // computes once both neighbours' fluxes arrive (started_ gates computing
+  // before publishing, exactly like Jacobi2D).
+  for (int e = 0; e < config_.blocks; ++e) {
+    rt_.send(array_, e, /*bytes=*/16, [this, e](Chare& c, Runtime& rt) {
+      auto& block = static_cast<AmrBlock&>(c);
+      block.mark_started();
+      send_flux(e, AmrBlock::kLeft);
+      send_flux(e, AmrBlock::kRight);
+      maybe_compute(e, block, rt);
+    });
+  }
+}
+
+}  // namespace ehpc::apps

@@ -84,6 +84,78 @@ charm::RescaleTiming measure_jacobi_rescale(int grid_n, int from_replicas,
   return *rt.last_rescale();
 }
 
+std::vector<ScalingPoint> measure_amr_scaling(
+    AmrConfig config, const std::vector<int>& replica_counts, int lb_period,
+    charm::RuntimeConfig base) {
+  std::vector<ScalingPoint> out;
+  out.reserve(replica_counts.size());
+  for (int replicas : replica_counts) {
+    charm::RuntimeConfig rc = base;
+    rc.num_pes = replicas;
+    charm::Runtime rt(rc);
+    Amr app(rt, config);
+    app.driver().set_lb_period(lb_period);
+    app.start();
+    rt.run();
+    EHPC_ENSURES(app.driver().finished());
+    // Mean over all iterations: an adapting mesh has no steady state.
+    const auto& ends = app.driver().iteration_end_times();
+    EHPC_EXPECTS(!ends.empty());
+    out.push_back(
+        {replicas, ends.back() / static_cast<double>(ends.size())});
+  }
+  return out;
+}
+
+charm::RescaleTiming measure_amr_rescale(AmrConfig config, int from_replicas,
+                                         int to_replicas,
+                                         int warmup_iterations,
+                                         charm::RuntimeConfig base) {
+  EHPC_EXPECTS(from_replicas > 0 && to_replicas > 0);
+  charm::RuntimeConfig rc = base;
+  rc.num_pes = from_replicas;
+  charm::Runtime rt(rc);
+  config.max_iterations = warmup_iterations + 6;
+  Amr app(rt, config);
+  app.driver().at_iteration(warmup_iterations, [to_replicas](charm::Runtime& r) {
+    r.ccs().request_rescale(to_replicas);
+  });
+  app.start();
+  rt.run();
+  EHPC_ENSURES(rt.last_rescale().has_value());
+  return *rt.last_rescale();
+}
+
+LbProfile measure_amr_lb_profile(AmrConfig config, int replicas, int lb_period,
+                                 charm::RuntimeConfig base) {
+  EHPC_EXPECTS(replicas > 0 && lb_period > 0);
+  charm::RuntimeConfig rc = base;
+  rc.num_pes = replicas;
+  charm::Runtime rt(rc);
+  Amr app(rt, config);
+  app.driver().set_lb_period(lb_period);
+  app.start();
+  rt.run();
+  EHPC_ENSURES(app.driver().finished());
+  LbProfile profile;
+  double pre_sum = 0.0;
+  double post_sum = 0.0;
+  double migrated_sum = 0.0;
+  for (const auto& step : rt.lb_history()) {
+    pre_sum += step.pre_ratio;
+    post_sum += step.post_ratio;
+    migrated_sum += static_cast<double>(step.migrated);
+    ++profile.lb_steps;
+  }
+  if (profile.lb_steps > 0) {
+    const double n = static_cast<double>(profile.lb_steps);
+    profile.pre_ratio = pre_sum / n;
+    profile.post_ratio = post_sum / n;
+    profile.migrations_per_step = migrated_sum / n;
+  }
+  return profile;
+}
+
 PiecewiseLinear scaling_curve(const std::vector<ScalingPoint>& points) {
   EHPC_EXPECTS(!points.empty());
   std::vector<std::pair<double, double>> xy;

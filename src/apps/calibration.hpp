@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "apps/amr.hpp"
 #include "apps/jacobi2d.hpp"
 #include "apps/leanmd.hpp"
 #include "charm/rescale.hpp"
@@ -40,6 +41,38 @@ charm::RescaleTiming measure_jacobi_rescale(int grid_n, int from_replicas,
                                             int to_replicas,
                                             int warmup_iterations = 3,
                                             charm::RuntimeConfig base = {});
+
+/// Same measurement for the AMR workload. Scaling is averaged over the whole
+/// run (not just steady state): the adapting mesh has no steady state, so
+/// the mean step time is the honest calibration target. `lb_period` > 0 runs
+/// the configured load balancer every that many iterations, so the measured
+/// step time reflects the strategy's balancing quality *and* its cost —
+/// that is what differentiates null/greedy/refine on an irregular app.
+std::vector<ScalingPoint> measure_amr_scaling(
+    AmrConfig config, const std::vector<int>& replica_counts,
+    int lb_period = 0, charm::RuntimeConfig base = {});
+
+/// Run the AMR workload at `from_replicas` with the front well developed,
+/// then rescale to `to_replicas` — the rescale's LB stage sees a heavily
+/// imbalanced object set, unlike the Jacobi measurement.
+charm::RescaleTiming measure_amr_rescale(AmrConfig config, int from_replicas,
+                                         int to_replicas,
+                                         int warmup_iterations = 8,
+                                         charm::RuntimeConfig base = {});
+
+/// Imbalance profile of one AMR run with periodic load balancing: the mean
+/// pre/post-LB max/avg load ratios and migrations per LB step reported by
+/// the runtime's `lb_history()`.
+struct LbProfile {
+  double pre_ratio = 1.0;         ///< mean max/avg PE load before an LB step
+  double post_ratio = 1.0;        ///< mean max/avg PE load after an LB step
+  double migrations_per_step = 0.0;
+  int lb_steps = 0;
+};
+
+LbProfile measure_amr_lb_profile(AmrConfig config, int replicas,
+                                 int lb_period = 5,
+                                 charm::RuntimeConfig base = {});
 
 /// Piecewise-linear time-per-step(replicas) curve from scaling points.
 PiecewiseLinear scaling_curve(const std::vector<ScalingPoint>& points);

@@ -156,6 +156,65 @@ std::unique_ptr<LoadBalancer> make_load_balancer(const std::string& name) {
   throw PreconditionError("unknown load balancer: " + name);
 }
 
+const std::vector<std::string>& load_balancer_names() {
+  static const std::vector<std::string> kNames{"null", "greedy", "refine"};
+  return kNames;
+}
+
+LbAssignment run_strategy(const LoadBalancer& strategy,
+                          const std::vector<LbObject>& objects,
+                          const std::vector<PeId>& available_pes,
+                          LbStepStats* stats) {
+  EHPC_EXPECTS(!available_pes.empty());
+
+  // Current placement and its legality under the available set.
+  LbAssignment current;
+  current.reserve(objects.size());
+  bool current_legal = true;
+  std::vector<PeId> hosting;  // sorted unique PEs currently hosting objects
+  for (const auto& obj : objects) {
+    current.push_back(obj.current_pe);
+    hosting.push_back(obj.current_pe);
+    if (!contains(available_pes, obj.current_pe)) current_legal = false;
+  }
+  std::sort(hosting.begin(), hosting.end());
+  hosting.erase(std::unique(hosting.begin(), hosting.end()), hosting.end());
+
+  LbAssignment proposal = strategy.assign(objects, available_pes);
+  EHPC_ENSURES(proposal.size() == objects.size());
+
+  // Pre-LB ratio over the available set whenever the current placement is
+  // legal there (so pre and post are directly comparable); only during a
+  // rescale, where objects sit on vanishing PEs, fall back to the PEs that
+  // actually host them.
+  const double pre_ratio =
+      current_legal
+          ? (objects.empty() ? 1.0
+                             : load_imbalance(objects, current, available_pes))
+          : (hosting.empty() ? 1.0 : load_imbalance(objects, current, hosting));
+  // Never-worse guard: compare both placements over the same PE set.
+  if (current_legal && !objects.empty() &&
+      load_imbalance(objects, proposal, available_pes) > pre_ratio) {
+    proposal = current;
+  }
+
+  if (stats != nullptr) {
+    stats->strategy = strategy.name();
+    // Clamp: max/avg is mathematically >= 1 but can dip below by an ulp.
+    stats->pre_ratio = std::max(1.0, pre_ratio);
+    stats->post_ratio =
+        objects.empty()
+            ? 1.0
+            : std::max(1.0, load_imbalance(objects, proposal, available_pes));
+    stats->objects = static_cast<int>(objects.size());
+    stats->migrated = 0;
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      if (proposal[i] != objects[i].current_pe) ++stats->migrated;
+    }
+  }
+  return proposal;
+}
+
 double load_imbalance(const std::vector<LbObject>& objects,
                       const LbAssignment& assignment,
                       const std::vector<PeId>& available_pes) {

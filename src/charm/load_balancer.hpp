@@ -72,6 +72,33 @@ class RefineLb final : public LoadBalancer {
 /// Factory: "null", "greedy", or "refine".
 std::unique_ptr<LoadBalancer> make_load_balancer(const std::string& name);
 
+/// The strategy names `make_load_balancer` accepts, in a stable order
+/// (ablations index into this list).
+const std::vector<std::string>& load_balancer_names();
+
+/// Imbalance accounting of one LB invocation (one "LB step").
+struct LbStepStats {
+  std::string strategy;     ///< LoadBalancer::name() of the strategy run
+  double pre_ratio = 1.0;   ///< max/avg PE load before the step
+  double post_ratio = 1.0;  ///< max/avg PE load after the step
+  int migrated = 0;         ///< objects whose PE changed
+  int objects = 0;          ///< objects considered
+};
+
+/// Run `strategy` over `objects` with a never-worse guarantee: when every
+/// object's current PE is still available and the proposed assignment would
+/// *raise* the max/avg load ratio, the current placement is kept instead
+/// (zero migrations). During a rescale the current placement is illegal
+/// (objects sit on vanishing PEs), so the strategy's proposal always stands.
+/// Fills `stats` (if non-null) with the step's imbalance accounting; the
+/// pre-LB ratio is measured over `available_pes` when the current placement
+/// is legal there (directly comparable with post_ratio), otherwise over the
+/// PEs currently hosting objects (the shrink/evacuation case).
+LbAssignment run_strategy(const LoadBalancer& strategy,
+                          const std::vector<LbObject>& objects,
+                          const std::vector<PeId>& available_pes,
+                          LbStepStats* stats = nullptr);
+
 /// Maximum PE load divided by average PE load for a given assignment
 /// (1.0 = perfectly balanced). Utility shared by strategies and tests.
 double load_imbalance(const std::vector<LbObject>& objects,

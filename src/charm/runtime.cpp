@@ -287,7 +287,10 @@ double Runtime::stage_load_balance(const std::vector<PeId>& available_pes,
     return 0.0;
   }
 
-  const LbAssignment assignment = lb_->assign(objects, available_pes);
+  LbStepStats stats;
+  const LbAssignment assignment =
+      run_strategy(*lb_, objects, available_pes, &stats);
+  lb_history_.push_back(stats);
 
   // Strategy + stats-gathering cost (central LB): per-object decision work
   // plus a reduction/broadcast over the current PEs.

@@ -182,6 +182,10 @@ class Runtime {
   /// Accumulated LB load (seconds of charged compute) per element.
   std::vector<double> element_loads(ArrayId array) const;
 
+  /// Imbalance accounting of every LB step run so far (AtSync balances and
+  /// the LB stage of each rescale), in execution order.
+  const std::vector<LbStepStats>& lb_history() const { return lb_history_; }
+
   // ---- execution ----
 
   /// Run until quiescence (no pending events). Returns events executed.
@@ -264,6 +268,7 @@ class Runtime {
   RestartHandler restart_handler_;
   std::optional<RescaleTiming> last_rescale_;
   std::vector<RescaleTiming> rescale_history_;
+  std::vector<LbStepStats> lb_history_;
 
   // Fault tolerance: the durable checkpoint and the app state stored in it.
   std::function<void(Pup&)> app_state_pup_;

@@ -23,6 +23,12 @@ void MetricsCollector::record_usage(double t, int used) {
   usage_.emplace_back(t, static_cast<double>(used));
 }
 
+void MetricsCollector::record_lb_step(double post_ratio, double migrations) {
+  EHPC_EXPECTS(post_ratio >= 1.0);
+  EHPC_EXPECTS(migrations >= 0.0);
+  lb_steps_.emplace_back(post_ratio, migrations);
+}
+
 RunMetrics MetricsCollector::compute() const {
   EHPC_EXPECTS(!jobs_.empty());
   RunMetrics m;
@@ -57,23 +63,42 @@ RunMetrics MetricsCollector::compute() const {
     m.utilization =
         time_weighted_average(window, last_complete) / total_slots_;
   }
+  if (!lb_steps_.empty()) {
+    double ratio_sum = 0.0;
+    double migration_sum = 0.0;
+    for (const auto& [ratio, migrations] : lb_steps_) {
+      ratio_sum += ratio;
+      migration_sum += migrations;
+    }
+    const double n = static_cast<double>(lb_steps_.size());
+    m.lb_post_ratio = ratio_sum / n;
+    m.lb_migrations_per_step = migration_sum / n;
+    m.lb_steps = n;
+  }
   return m;
 }
 
 RunMetrics average_metrics(const std::vector<RunMetrics>& runs) {
   EHPC_EXPECTS(!runs.empty());
   RunMetrics avg;
+  avg.lb_post_ratio = 0.0;
   for (const auto& r : runs) {
     avg.total_time_s += r.total_time_s;
     avg.utilization += r.utilization;
     avg.weighted_response_s += r.weighted_response_s;
     avg.weighted_completion_s += r.weighted_completion_s;
+    avg.lb_post_ratio += r.lb_post_ratio;
+    avg.lb_migrations_per_step += r.lb_migrations_per_step;
+    avg.lb_steps += r.lb_steps;
   }
   const double n = static_cast<double>(runs.size());
   avg.total_time_s /= n;
   avg.utilization /= n;
   avg.weighted_response_s /= n;
   avg.weighted_completion_s /= n;
+  avg.lb_post_ratio /= n;
+  avg.lb_migrations_per_step /= n;
+  avg.lb_steps /= n;
   return avg;
 }
 

@@ -18,12 +18,19 @@ struct JobRecord {
   double completion_time() const { return complete_time - submit_time; }
 };
 
-/// The four metrics of paper §4.3, computed over one experiment run.
+/// The four metrics of paper §4.3, computed over one experiment run, plus
+/// runtime load-balancing health observed during it.
 struct RunMetrics {
   double total_time_s = 0.0;        ///< first submission to last completion
   double utilization = 0.0;         ///< time-weighted mean used/total slots
   double weighted_response_s = 0.0;   ///< priority-weighted mean response
   double weighted_completion_s = 0.0; ///< priority-weighted mean completion
+  /// Load-balancer imbalance surfaced from the runtime layer: the mean
+  /// post-LB max/avg PE load ratio (1.0 = perfectly balanced, also the
+  /// value when no LB step ran) and mean object migrations per LB step.
+  double lb_post_ratio = 1.0;
+  double lb_migrations_per_step = 0.0;
+  double lb_steps = 0.0;            ///< LB steps observed (mean when averaged)
 };
 
 /// Accumulates job records and a used-slots step trace, then computes the
@@ -39,6 +46,10 @@ class MetricsCollector {
   /// Record that `used` slots are busy from time `t` onward.
   void record_usage(double t, int used);
 
+  /// Record one runtime LB step: the post-LB max/avg PE load ratio it
+  /// achieved and the object migrations it needed.
+  void record_lb_step(double post_ratio, double migrations);
+
   RunMetrics compute() const;
 
   const std::vector<JobRecord>& jobs() const { return jobs_; }
@@ -50,6 +61,7 @@ class MetricsCollector {
   int total_slots_;
   std::vector<JobRecord> jobs_;
   std::vector<std::pair<double, double>> usage_;  // (time, used slots)
+  std::vector<std::pair<double, double>> lb_steps_;  // (post ratio, migrations)
 };
 
 /// Average each metric over several runs (the paper reports means over 100

@@ -34,6 +34,16 @@ struct RescaleOverheadModel {
   double overhead_s(int from, int to) const;
 };
 
+/// Calibrated load-balancing behaviour of one runtime LB step for this
+/// workload, as measured on minicharm (`apps::measure_amr_lb_profile`). The
+/// default models a regular app: a perfectly balanced step with no
+/// migrations. The experiment harness surfaces these through
+/// `RunMetrics::lb_*` whenever a job rescales.
+struct LbStepModel {
+  double post_ratio = 1.0;          ///< max/avg PE load after an LB step
+  double migrations_per_step = 0.0; ///< objects migrated per LB step
+};
+
 /// Everything the performance simulator needs to model one job's execution:
 /// its spec bounds, how long a step takes at a given replica count
 /// (piecewise-linear in replicas, as in the paper), and its rescale cost.
@@ -45,6 +55,7 @@ struct Workload {
   int max_replicas = 8;
   PiecewiseLinear time_per_step;  ///< seconds per step vs replicas
   RescaleOverheadModel rescale;
+  LbStepModel lb;                 ///< runtime LB behaviour when rescaling
 
   /// Runtime if executed start-to-finish at a fixed replica count.
   double runtime_at(int replicas) const {

@@ -141,11 +141,12 @@ void CharmJobController::update_readiness(const std::string& job_name) {
   if (desired > 0 && running >= desired) {
     auto it = ready_waiters_.find(job_name);
     if (it != ready_waiters_.end()) {
-      auto fn = std::move(it->second);
+      // Detach before firing: a waiter may register a new waiter.
+      auto fns = std::move(it->second);
       ready_waiters_.erase(it);
       EHPC_DEBUG("opk", "job %s ready with %d replicas", job_name.c_str(),
                  running);
-      fn(job_name);
+      for (auto& fn : fns) fn(job_name);
     }
   }
 }
@@ -153,8 +154,7 @@ void CharmJobController::update_readiness(const std::string& job_name) {
 void CharmJobController::when_ready(const std::string& job_name,
                                     ReadyCallback fn) {
   EHPC_EXPECTS(fn != nullptr);
-  EHPC_EXPECTS(ready_waiters_.count(job_name) == 0);
-  ready_waiters_[job_name] = std::move(fn);
+  ready_waiters_[job_name].push_back(std::move(fn));
   cluster_.sim().schedule_after(0.0, [this, job_name] {
     if (jobs_.contains(job_name)) update_readiness(job_name);
   });

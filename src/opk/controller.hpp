@@ -30,6 +30,8 @@ class CharmJobController {
 
   /// One-shot: invoke `fn` once the job's ready replicas equal its desired
   /// count. Fires immediately (via a zero-latency event) if already true.
+  /// Multiple waiters may be pending per job (overlapping rescale
+  /// handshakes); they fire in registration order.
   void when_ready(const std::string& job_name, ReadyCallback fn);
 
   /// Force a reconcile pass for a job (used after desired_replicas changes).
@@ -45,7 +47,7 @@ class CharmJobController {
   k8s::Cluster& cluster_;
   k8s::ObjectStore<CharmJob>& jobs_;
   ControllerConfig config_;
-  std::map<std::string, ReadyCallback> ready_waiters_;
+  std::map<std::string, std::vector<ReadyCallback>> ready_waiters_;
   int reconcile_count_ = 0;
 };
 

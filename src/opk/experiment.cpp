@@ -58,9 +58,33 @@ class ClusterExperiment::Harness final : public schedsim::ExecHarness {
     owner_.jobs_.add(std::move(job));
   }
 
+  /// A rescale issued while the job's pods are still scheduling. The job's
+  /// single start ready-waiter is pending, so park the target until
+  /// on_pods_ready (last one wins — the policy's final word is the state
+  /// its bookkeeping assumes) — but update the pod demand *now*: the
+  /// policy already re-budgeted those slots, and holding surplus demand
+  /// could wedge two launching jobs against each other (per-pod binding,
+  /// no gang scheduling).
+  void defer_rescale(JobId id, int target) {
+    schedsim::JobExec& exec = this->exec(id);
+    deferred_rescales_[id] = target;
+    owner_.jobs_.mutate(exec.job_name, [target](CharmJob& j) {
+      j.desired_replicas = target;
+    });
+  }
+
   void on_pods_ready(JobId id, int replicas) {
     schedsim::JobExec& exec = this->exec(id);
     if (exec.started) return;
+    if (auto it = deferred_rescales_.find(id); it != deferred_rescales_.end()) {
+      // The policy reshaped the job while its pods were still scheduling
+      // (possible with small T_rescale_gap under contention). The
+      // controller already reconciled the pods to the final target, so the
+      // job simply starts at that width — the application never ran at the
+      // originally granted size, so no checkpoint/restart handshake.
+      replicas = it->second;
+      deferred_rescales_.erase(it);
+    }
     exec.started = true;
     exec.replicas = replicas;
     const double now = sim().now();
@@ -102,7 +126,7 @@ class ClusterExperiment::Harness final : public schedsim::ExecHarness {
             exec.workload.rescale.overhead_s(old_replicas, target);
         exec.replicas = target;
         exec.accrue_from = boundary + overhead;
-        note_rescale();
+        note_rescale(id);
         owner_.jobs_.mutate(exec.job_name, [](CharmJob& j) {
           j.phase = CharmJobPhase::kResizing;
         });
@@ -123,7 +147,11 @@ class ClusterExperiment::Harness final : public schedsim::ExecHarness {
 
   void shrink_job(JobId id, int target) override {
     schedsim::JobExec& exec = this->exec(id);
-    EHPC_EXPECTS(exec.started && !exec.done);
+    EHPC_EXPECTS(!exec.done);
+    if (!exec.started) {
+      defer_rescale(id, target);
+      return;
+    }
     const std::string job_name = exec.job_name;
     // Paper §3.1 shrink: signal first; only after the acknowledgment are the
     // surplus pods removed (desired_replicas drop triggers the controller).
@@ -136,16 +164,24 @@ class ClusterExperiment::Harness final : public schedsim::ExecHarness {
 
   void expand_job(JobId id, int target) override {
     schedsim::JobExec& exec = this->exec(id);
-    EHPC_EXPECTS(exec.started && !exec.done);
+    EHPC_EXPECTS(!exec.done);
+    if (!exec.started) {
+      defer_rescale(id, target);
+      return;
+    }
     const std::string job_name = exec.job_name;
     // Paper §3.1 expand: add pods, update the nodelist, then signal.
     owner_.jobs_.mutate(job_name,
                         [target](CharmJob& j) { j.desired_replicas = target; });
-    owner_.controller_->when_ready(job_name,
-                                   [this, id, target](const std::string&) {
-                                     if (this->exec(id).done) return;
-                                     rescale_at_boundary(id, target, [] {});
-                                   });
+    owner_.controller_->when_ready(
+        job_name, [this, id, target, job_name](const std::string&) {
+          if (this->exec(id).done) return;
+          // A later rescale may have superseded this expand while its pods
+          // were coming up (it rewrites desired_replicas); drop the stale
+          // handshake — the superseding rescale realizes the final state.
+          if (owner_.jobs_.get(job_name).desired_replicas != target) return;
+          rescale_at_boundary(id, target, [] {});
+        });
   }
 
   void on_job_completed(schedsim::JobExec& exec) override {
@@ -157,6 +193,8 @@ class ClusterExperiment::Harness final : public schedsim::ExecHarness {
   }
 
   ClusterExperiment& owner_;
+  /// Rescale targets issued before a job's pods came up, by job id.
+  std::map<elastic::JobId, int> deferred_rescales_;
 };
 
 ClusterExperiment::ClusterExperiment(

@@ -43,6 +43,12 @@ elastic::PolicyConfig policy_for(const ScenarioSpec& spec,
 
 std::map<elastic::JobClass, elastic::Workload> workloads_for(
     const ScenarioSpec& spec) {
+  if (spec.app == "amr") {
+    // The irregular workload is always measured: its cost profile (and the
+    // point of running it) comes from the refinement dynamics.
+    return schedsim::amr_calibrated_workloads(spec.refine_rate,
+                                              spec.lb_strategy);
+  }
   return spec.calibrated ? schedsim::calibrated_workloads()
                          : schedsim::analytic_workloads();
 }

@@ -107,6 +107,44 @@ ScenarioRegistry::ScenarioRegistry() {
   burst.submission_gap_s = 0.0;
   burst.repeats = 20;
   add(burst);
+
+  // Irregular-workload scenarios: jobs modeled from the AMR app, whose
+  // refinement front produces heavy, time-varying load imbalance (ROADMAP
+  // "Scenario diversity"). Each runs on either substrate via substrate=.
+  ScenarioSpec amr_imbalance;
+  amr_imbalance.name = "amr_imbalance";
+  amr_imbalance.description =
+      "Scheduler metrics vs AMR refinement rate: workload models are "
+      "re-calibrated per point, so imbalance grows along the axis";
+  amr_imbalance.app = "amr";
+  amr_imbalance.axis = SweepAxis::kRefineRate;
+  amr_imbalance.axis_values = {0.0, 0.06, 0.12, 0.24};
+  amr_imbalance.repeats = 20;
+  add(amr_imbalance);
+
+  ScenarioSpec amr_rescale;
+  amr_rescale.name = "amr_rescale";
+  amr_rescale.description =
+      "Shrink/expand churn under AMR imbalance: tight submissions and a "
+      "T_rescale_gap sweep force rescales while the mesh is adapting";
+  amr_rescale.app = "amr";
+  amr_rescale.submission_gap_s = 30.0;
+  amr_rescale.axis = SweepAxis::kRescaleGap;
+  amr_rescale.axis_values = {0, 60, 180, 600};
+  amr_rescale.repeats = 20;
+  add(amr_rescale);
+
+  ScenarioSpec amr_lb;
+  amr_lb.name = "amr_lb_ablation";
+  amr_lb.description =
+      "Load-balancer ablation on the AMR workload: null vs greedy vs refine "
+      "(sweep values index charm::load_balancer_names())";
+  amr_lb.app = "amr";
+  amr_lb.axis = SweepAxis::kLbStrategy;
+  amr_lb.axis_values = {0, 1, 2};
+  amr_lb.policies = {PolicyMode::kElastic};
+  amr_lb.repeats = 20;
+  add(amr_lb);
 }
 
 std::vector<std::string> scenario_config_keys() {

@@ -1,9 +1,11 @@
 #include "scenario/spec.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
 
+#include "charm/load_balancer.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 
@@ -31,6 +33,8 @@ std::string to_string(SweepAxis a) {
     case SweepAxis::kNone: return "none";
     case SweepAxis::kSubmissionGap: return "submission_gap";
     case SweepAxis::kRescaleGap: return "rescale_gap";
+    case SweepAxis::kRefineRate: return "refine_rate";
+    case SweepAxis::kLbStrategy: return "lb_strategy";
   }
   return "?";
 }
@@ -39,8 +43,15 @@ SweepAxis sweep_axis_from_string(const std::string& name) {
   if (name == "none") return SweepAxis::kNone;
   if (name == "submission_gap") return SweepAxis::kSubmissionGap;
   if (name == "rescale_gap") return SweepAxis::kRescaleGap;
-  throw ConfigError("unknown sweep axis '" + name +
-                    "'; known: none submission_gap rescale_gap");
+  if (name == "refine_rate") return SweepAxis::kRefineRate;
+  if (name == "lb_strategy") return SweepAxis::kLbStrategy;
+  throw ConfigError(
+      "unknown sweep axis '" + name +
+      "'; known: none submission_gap rescale_gap refine_rate lb_strategy");
+}
+
+bool axis_affects_workloads(SweepAxis a) {
+  return a == SweepAxis::kRefineRate || a == SweepAxis::kLbStrategy;
 }
 
 namespace {
@@ -125,12 +136,43 @@ void ScenarioSpec::validate() const {
   if (axis == SweepAxis::kNone && !axis_values.empty()) {
     fail("sweep_values given but sweep_axis is 'none'");
   }
+  if (app != "jacobi" && app != "amr") {
+    fail("unknown app '" + app + "'; known: jacobi amr");
+  }
+  if (refine_rate < 0.0 || refine_rate > 0.5) {
+    fail("refine_rate must be in [0, 0.5]");
+  }
+  const auto& lb_names = charm::load_balancer_names();
+  if (std::find(lb_names.begin(), lb_names.end(), lb_strategy) ==
+      lb_names.end()) {
+    fail("unknown lb_strategy '" + lb_strategy + "'; known: null greedy refine");
+  }
+  if (axis == SweepAxis::kLbStrategy) {
+    for (const double v : axis_values) {
+      if (std::floor(v) != v || v < 0.0 ||
+          v >= static_cast<double>(lb_names.size())) {
+        fail("lb_strategy sweep values index load_balancer_names(): integers "
+             "in [0, " + std::to_string(lb_names.size()) + ")");
+      }
+    }
+  }
+  if (axis == SweepAxis::kRefineRate) {
+    for (const double v : axis_values) {
+      if (v < 0.0 || v > 0.5) {
+        fail("refine_rate sweep values must be in [0, 0.5]");
+      }
+    }
+  }
+  if (axis == SweepAxis::kRefineRate || axis == SweepAxis::kLbStrategy) {
+    if (app != "amr") fail("axis '" + to_string(axis) + "' requires app=amr");
+  }
 }
 
 const std::vector<std::string>& spec_config_keys() {
   static const std::vector<std::string> kKeys{
       "substrate",      "nodes",      "cpus_per_node", "num_jobs",
       "submission_gap", "rescale_gap", "calibrated",   "policies",
+      "app",            "refine_rate", "lb_strategy",
       "sweep_axis",     "sweep_values", "repeats",     "seed"};
   return kKeys;
 }
@@ -146,7 +188,11 @@ std::string spec_config_help() {
       "  calibrated=true         minicharm-calibrated step-time curves\n"
       "  policies=all            comma list: min_replicas,max_replicas,"
       "moldable,elastic\n"
-      "  sweep_axis=none         none | submission_gap | rescale_gap\n"
+      "  app=jacobi              jacobi | amr (irregular adaptive mesh)\n"
+      "  refine_rate=0.12        AMR refinement-event rate per patch/iter\n"
+      "  lb_strategy=greedy      runtime LB: null | greedy | refine\n"
+      "  sweep_axis=none         none | submission_gap | rescale_gap |\n"
+      "                          refine_rate | lb_strategy\n"
       "  sweep_values=...        comma list of swept parameter values\n"
       "  repeats=100             random mixes averaged per point\n"
       "  seed=2025               base RNG seed (repeat r uses seed + r)\n";
@@ -161,6 +207,9 @@ ScenarioSpec spec_from_config(const Config& cfg, ScenarioSpec base) {
   spec.submission_gap_s = cfg.get_double("submission_gap", spec.submission_gap_s);
   spec.rescale_gap_s = cfg.get_double("rescale_gap", spec.rescale_gap_s);
   spec.calibrated = cfg.get_bool("calibrated", spec.calibrated);
+  if (auto v = cfg.get("app")) spec.app = *v;
+  spec.refine_rate = cfg.get_double("refine_rate", spec.refine_rate);
+  if (auto v = cfg.get("lb_strategy")) spec.lb_strategy = *v;
   if (auto v = cfg.get("policies")) spec.policies = parse_policies(*v);
   if (auto v = cfg.get("sweep_axis")) spec.axis = sweep_axis_from_string(*v);
   if (auto v = cfg.get("sweep_values")) spec.axis_values = parse_values(*v);
@@ -179,6 +228,11 @@ std::string describe(const ScenarioSpec& spec) {
   out += " submission_gap=" + format_double(spec.submission_gap_s, 0);
   out += " rescale_gap=" + format_double(spec.rescale_gap_s, 0);
   out += std::string(" calibrated=") + (spec.calibrated ? "true" : "false");
+  out += " app=" + spec.app;
+  if (spec.app == "amr") {
+    out += " refine_rate=" + format_double(spec.refine_rate, 3);
+    out += " lb_strategy=" + spec.lb_strategy;
+  }
   out += " policies=" + join_policies(spec.policies);
   out += " sweep_axis=" + to_string(spec.axis);
   if (!spec.axis_values.empty()) {

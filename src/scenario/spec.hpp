@@ -17,12 +17,20 @@ std::string to_string(Substrate s);
 /// Parse "schedsim" / "cluster"; throws ConfigError on anything else.
 Substrate substrate_from_string(const std::string& name);
 
-/// The parameter an experiment sweeps, one point per value.
-enum class SweepAxis { kNone, kSubmissionGap, kRescaleGap };
+/// The parameter an experiment sweeps, one point per value. The last two
+/// re-calibrate the workload models per point: kRefineRate sweeps the AMR
+/// refinement-event rate, kLbStrategy sweeps the runtime load balancer
+/// (values index `charm::load_balancer_names()`).
+enum class SweepAxis { kNone, kSubmissionGap, kRescaleGap, kRefineRate, kLbStrategy };
 
 std::string to_string(SweepAxis a);
-/// Parse "none" / "submission_gap" / "rescale_gap"; throws ConfigError.
+/// Parse "none" / "submission_gap" / "rescale_gap" / "refine_rate" /
+/// "lb_strategy"; throws ConfigError on anything else.
 SweepAxis sweep_axis_from_string(const std::string& name);
+
+/// True for axes whose value changes the workload calibration itself (the
+/// sweep engine then calibrates per point instead of once per sweep).
+bool axis_affects_workloads(SweepAxis a);
 
 /// Declarative description of one experiment: cluster shape, job-mix
 /// generation, policy configuration, substrate choice, sweep axis and
@@ -45,6 +53,15 @@ struct ScenarioSpec {
   int num_jobs = 16;
   double submission_gap_s = 90.0;
   bool calibrated = true;
+
+  // Which application the workload models are calibrated from: "jacobi"
+  // (the paper's regular stencil) or "amr" (the irregular adaptive-mesh
+  // workload, always minicharm-calibrated). For "amr", `refine_rate` sets
+  // the refinement-event rate and `lb_strategy` the runtime load balancer
+  // used during the calibration runs.
+  std::string app = "jacobi";
+  double refine_rate = 0.12;
+  std::string lb_strategy = "greedy";
 
   // Policy configuration shared by every policy in `policies`.
   double rescale_gap_s = 180.0;

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "charm/load_balancer.hpp"
 #include "common/error.hpp"
 
 namespace ehpc::scenario {
@@ -72,6 +73,13 @@ ScenarioSpec at_axis_value(const ScenarioSpec& spec, double value) {
     case SweepAxis::kRescaleGap:
       point.rescale_gap_s = value;
       break;
+    case SweepAxis::kRefineRate:
+      point.refine_rate = value;
+      break;
+    case SweepAxis::kLbStrategy:
+      point.lb_strategy =
+          charm::load_balancer_names().at(static_cast<std::size_t>(value));
+      break;
   }
   return point;
 }
@@ -83,11 +91,24 @@ SweepResult run_sweep(const ScenarioSpec& spec, int threads) {
   const std::vector<double> xs =
       spec.axis == SweepAxis::kNone ? std::vector<double>{0.0}
                                     : spec.axis_values;
-  const auto workloads = workloads_for(spec);
 
   const std::size_t num_points = xs.size();
   const std::size_t repeats = static_cast<std::size_t>(spec.repeats);
   const std::size_t num_policies = spec.policies.size();
+
+  // Calibrate workload models before fanning out, so the parallel cells
+  // only read shared immutable state. Axes that change the calibration
+  // itself (refine_rate, lb_strategy) get one model set per point;
+  // everything else shares a single set.
+  std::vector<std::map<elastic::JobClass, elastic::Workload>> workloads;
+  if (axis_affects_workloads(spec.axis)) {
+    workloads.reserve(num_points);
+    for (const double x : xs) {
+      workloads.push_back(workloads_for(at_axis_value(spec, x)));
+    }
+  } else {
+    workloads.push_back(workloads_for(spec));
+  }
 
   // One cell per (sweep point × repeat): the repeat's random mix is shared
   // across policies, exactly like the paper's averaging procedure. Cells are
@@ -97,13 +118,14 @@ SweepResult run_sweep(const ScenarioSpec& spec, int threads) {
     const std::size_t p = i / repeats;
     const std::size_t r = i % repeats;
     const ScenarioSpec point = at_axis_value(spec, xs[p]);
+    const auto& point_workloads = workloads[workloads.size() == 1 ? 0 : p];
     const auto mix =
         make_mix(point, spec.seed + static_cast<unsigned>(r));
     auto& cell = cells[i];
     cell.resize(num_policies);
     for (std::size_t k = 0; k < num_policies; ++k) {
-      auto backend =
-          make_backend(point, policy_for(point, spec.policies[k]), workloads);
+      auto backend = make_backend(point, policy_for(point, spec.policies[k]),
+                                  point_workloads);
       cell[k] = backend->run(mix).metrics;
     }
   });

@@ -1,5 +1,9 @@
 #include "schedsim/calibrate.hpp"
 
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
 #include "apps/calibration.hpp"
 
 namespace ehpc::schedsim {
@@ -25,6 +29,68 @@ std::map<JobClass, Workload> calibrated_workloads() {
     workload.time_per_step = apps::scaling_curve(points);
   }
   return out;
+}
+
+apps::AmrConfig amr_config_for(JobClass c, double refine_rate) {
+  apps::AmrConfig config;
+  // Sized so class runtimes land in the same regime as the Jacobi classes
+  // (tens of seconds to ~10 minutes per job): compute dominates the
+  // per-message handler cost, so refinement genuinely moves step time.
+  switch (c) {
+    case JobClass::kSmall:
+      config.blocks = 64;
+      config.cells_per_block = 8192;
+      break;
+    case JobClass::kMedium:
+      config.blocks = 96;
+      config.cells_per_block = 16384;
+      break;
+    case JobClass::kLarge:
+      config.blocks = 128;
+      config.cells_per_block = 32768;
+      break;
+    case JobClass::kXLarge:
+      config.blocks = 192;
+      config.cells_per_block = 131072;
+      break;
+  }
+  config.max_real_cells = 64;
+  config.max_depth = 2;
+  config.max_iterations = 12;
+  config.refine_rate = refine_rate;
+  config.coarsen_rate = std::min(1.0 - refine_rate, refine_rate * 0.5);
+  return config;
+}
+
+std::map<JobClass, Workload> amr_calibrated_workloads(
+    double refine_rate, const std::string& lb_strategy) {
+  // Memoized: sweeps and tests re-request the same (rate, strategy) pairs,
+  // and the measurement is deterministic, so cache process-wide. The mutex
+  // is held across the measurement — concurrent callers of the same key
+  // wait instead of measuring twice.
+  static std::mutex mutex;
+  static std::map<std::pair<double, std::string>, std::map<JobClass, Workload>>
+      cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto key = std::make_pair(refine_rate, lb_strategy);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+
+  std::map<JobClass, Workload> out = analytic_workloads();
+  const std::vector<int> replicas{1, 4, 16, 64};
+  charm::RuntimeConfig rc;
+  rc.load_balancer = lb_strategy;
+  for (auto& [cls, workload] : out) {
+    const apps::AmrConfig config = amr_config_for(cls, refine_rate);
+    workload.time_per_step = apps::scaling_curve(
+        apps::measure_amr_scaling(config, replicas, /*lb_period=*/4, rc));
+    // LB behaviour per rescale: measured at a mid-size PE count where the
+    // front-driven imbalance is pronounced.
+    const apps::LbProfile profile =
+        apps::measure_amr_lb_profile(config, /*replicas=*/16, /*lb_period=*/4, rc);
+    workload.lb.post_ratio = profile.post_ratio;
+    workload.lb.migrations_per_step = profile.migrations_per_step;
+  }
+  return cache.emplace(key, std::move(out)).first->second;
 }
 
 }  // namespace ehpc::schedsim

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <map>
+#include <string>
 
+#include "apps/amr.hpp"
 #include "elastic/workload.hpp"
 
 namespace ehpc::schedsim {
@@ -14,5 +16,16 @@ std::map<elastic::JobClass, elastic::Workload> analytic_workloads();
 /// of the paper's "strong scaling performance measurements" feeding its
 /// simulator. Deterministic; takes a fraction of a second.
 std::map<elastic::JobClass, elastic::Workload> calibrated_workloads();
+
+/// The per-class AMR configuration the irregular-workload calibration runs
+/// use (patch count and model cells grow with the class).
+apps::AmrConfig amr_config_for(elastic::JobClass c, double refine_rate);
+
+/// Irregular AMR-like workloads: step-time curves and the per-rescale LB
+/// imbalance profile (`Workload::lb`) are measured by running the AMR app
+/// on minicharm with `lb_strategy` ("null" | "greedy" | "refine") at each
+/// replica count. Deterministic, like `calibrated_workloads`.
+std::map<elastic::JobClass, elastic::Workload> amr_calibrated_workloads(
+    double refine_rate, const std::string& lb_strategy);
 
 }  // namespace ehpc::schedsim

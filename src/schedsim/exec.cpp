@@ -105,6 +105,12 @@ void ExecHarness::apply_actions(const std::vector<Action>& actions) {
   }
 }
 
+void ExecHarness::note_rescale(elastic::JobId id) {
+  ++rescale_count_;
+  const auto& lb = execs_.at(id).workload.lb;
+  collector_->record_lb_step(lb.post_ratio, lb.migrations_per_step);
+}
+
 void ExecHarness::schedule_completion(JobId id) {
   JobExec& exec = execs_.at(id);
   if (exec.completion_event != sim::kInvalidEvent) {

@@ -112,7 +112,12 @@ class ExecHarness {
   void record_replicas(elastic::JobId id, int replicas);
   /// Record the policy engine's used-slot count into metrics + "util" trace.
   void record_engine_usage();
-  void note_rescale() { ++rescale_count_; }
+  /// Count a *realized* rescale of job `id` and record the runtime LB step
+  /// it implies (the job's calibrated imbalance profile) — call from the
+  /// substrate at the point the rescale actually executes, so decisions a
+  /// substrate drops or supersedes (e.g. superseded pre-start rescales on
+  /// the cluster) are not counted.
+  void note_rescale(elastic::JobId id);
 
   sim::Simulation& sim() { return sim_; }
   JobExec& exec(elastic::JobId id) { return execs_.at(id); }

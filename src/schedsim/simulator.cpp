@@ -56,7 +56,7 @@ class SimHarness final : public ExecHarness {
         e.workload.rescale.overhead_s(old_replicas, new_replicas);
     e.replicas = new_replicas;
     e.accrue_from = pause_base + overhead;
-    note_rescale();
+    note_rescale(id);
     schedule_completion(id);
     record_replicas(id, new_replicas);
     EHPC_DEBUG("schedsim", "job %d resized %d -> %d (overhead %.2fs)", id,

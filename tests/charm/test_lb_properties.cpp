@@ -1,0 +1,197 @@
+// Property-style battery over the load-balancing seam: for randomized load
+// vectors, every strategy (raw and through the run_strategy guard) must
+// uphold the placement invariants, and the guarded path must never worsen
+// the max/avg load ratio when the current placement is still legal.
+
+#include "charm/load_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ehpc::charm {
+namespace {
+
+std::vector<PeId> pes_upto(int n) {
+  std::vector<PeId> out(static_cast<std::size_t>(n));
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+/// Random objects: loads log-uniform-ish in (0, 4], sizes random, current
+/// placement random over `from_pes`. Occasionally zero-load objects, which
+/// strategies must also place.
+std::vector<LbObject> random_objects(Rng& rng, int n, int from_pes) {
+  std::vector<LbObject> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    LbObject o;
+    o.elem = i;
+    o.load = rng.chance(0.1) ? 0.0 : rng.uniform(0.05, 4.0);
+    o.bytes = static_cast<std::size_t>(rng.uniform_int(64, 1 << 16));
+    o.current_pe = static_cast<PeId>(rng.uniform_int(0, from_pes - 1));
+    out.push_back(o);
+  }
+  return out;
+}
+
+/// Sum of loads each PE would carry under `assignment`.
+std::map<PeId, double> pe_loads(const std::vector<LbObject>& objects,
+                                const LbAssignment& assignment) {
+  std::map<PeId, double> out;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    out[assignment[i]] += objects[i].load;
+  }
+  return out;
+}
+
+struct PropertyCase {
+  int objects;
+  int from_pes;
+  int to_pes;
+};
+
+// (objects, from_pes, to_pes) shapes: steady state, shrink, expand, tiny
+// and object-starved corners, plus the paper's 64-slot scale.
+const std::vector<PropertyCase> kShapes{
+    {64, 8, 8},  {64, 8, 4},   {64, 4, 8},  {7, 4, 2},   {3, 2, 8},
+    {1, 1, 4},   {128, 16, 7}, {256, 60, 30}, {256, 16, 64}, {32, 64, 64}};
+
+class LbStrategyProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LbStrategyProperty, InvariantsHoldForRandomizedLoads) {
+  auto lb = make_load_balancer(GetParam());
+  Rng rng(20250726);
+  for (const auto& shape : kShapes) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto objects = random_objects(rng, shape.objects, shape.from_pes);
+      const auto avail = pes_upto(shape.to_pes);
+      const LbAssignment assignment = lb->assign(objects, avail);
+
+      // Every object is placed exactly once, on an available PE.
+      ASSERT_EQ(assignment.size(), objects.size());
+      for (const PeId pe : assignment) {
+        ASSERT_GE(pe, 0);
+        ASSERT_LT(pe, shape.to_pes);
+      }
+
+      // Total load is conserved: the per-PE loads sum to the input loads.
+      double total_in = 0.0;
+      for (const auto& o : objects) total_in += o.load;
+      double total_out = 0.0;
+      for (const auto& [pe, load] : pe_loads(objects, assignment)) {
+        total_out += load;
+      }
+      ASSERT_NEAR(total_in, total_out, 1e-9 * std::max(1.0, total_in));
+    }
+  }
+}
+
+TEST_P(LbStrategyProperty, GuardedStepNeverWorsensTheRatio) {
+  auto lb = make_load_balancer(GetParam());
+  Rng rng(424242);
+  for (const auto& shape : kShapes) {
+    if (shape.to_pes < shape.from_pes) continue;  // current placement illegal
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto objects = random_objects(rng, shape.objects, shape.from_pes);
+      const auto avail = pes_upto(shape.to_pes);
+
+      LbAssignment current;
+      for (const auto& o : objects) current.push_back(o.current_pe);
+      const double pre = load_imbalance(objects, current, avail);
+
+      LbStepStats stats;
+      const LbAssignment assignment =
+          run_strategy(*lb, objects, avail, &stats);
+      const double post = load_imbalance(objects, assignment, avail);
+      ASSERT_LE(post, pre + 1e-12)
+          << GetParam() << " worsened " << pre << " -> " << post << " at "
+          << shape.objects << " objs " << shape.from_pes << "->"
+          << shape.to_pes;
+      ASSERT_DOUBLE_EQ(stats.post_ratio, post);
+      ASSERT_EQ(stats.objects, shape.objects);
+    }
+  }
+}
+
+TEST_P(LbStrategyProperty, GuardedStepCountsMigrationsCorrectly) {
+  auto lb = make_load_balancer(GetParam());
+  Rng rng(77);
+  const auto objects = random_objects(rng, 48, 6);
+  const auto avail = pes_upto(6);
+  LbStepStats stats;
+  const LbAssignment assignment = run_strategy(*lb, objects, avail, &stats);
+  int moved = 0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (assignment[i] != objects[i].current_pe) ++moved;
+  }
+  EXPECT_EQ(stats.migrated, moved);
+  EXPECT_EQ(stats.strategy, lb->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, LbStrategyProperty,
+                         ::testing::ValuesIn(load_balancer_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(RunStrategy, KeepsPlacementWhenProposalIsWorse) {
+  // Perfectly balanced start that greedy's LPT order would break: loads
+  // {3,3,2,2,2} on 2 PEs placed optimally (3+3 | 2+2+2).
+  std::vector<LbObject> objects;
+  const double loads[] = {3.0, 3.0, 2.0, 2.0, 2.0};
+  const PeId pes[] = {0, 0, 1, 1, 1};
+  for (int i = 0; i < 5; ++i) {
+    LbObject o;
+    o.elem = i;
+    o.load = loads[i];
+    o.current_pe = pes[i];
+    objects.push_back(o);
+  }
+  const auto avail = pes_upto(2);
+  GreedyLb greedy;
+  // Raw greedy worsens this placement (LPT gives 7 | 5)...
+  EXPECT_GT(load_imbalance(objects, greedy.assign(objects, avail), avail),
+            1.0 + 1e-9);
+  // ...so the guard must keep everything where it is.
+  LbStepStats stats;
+  const LbAssignment guarded = run_strategy(greedy, objects, avail, &stats);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(guarded[static_cast<std::size_t>(i)], pes[i]);
+  EXPECT_EQ(stats.migrated, 0);
+  EXPECT_DOUBLE_EQ(stats.post_ratio, 1.0);
+}
+
+TEST(RunStrategy, EvacuatesUnavailablePesEvenIfRatioWorsens) {
+  // All load on PE 2, which vanishes: the guard must not block the move.
+  std::vector<LbObject> objects;
+  for (int i = 0; i < 4; ++i) {
+    LbObject o;
+    o.elem = i;
+    o.load = 1.0;
+    o.current_pe = 2;
+    objects.push_back(o);
+  }
+  LbStepStats stats;
+  const auto assignment =
+      run_strategy(NullLb{}, objects, pes_upto(2), &stats);
+  for (const PeId pe : assignment) EXPECT_LT(pe, 2);
+  EXPECT_EQ(stats.migrated, 4);
+}
+
+TEST(RunStrategy, ZeroLoadObjectsYieldRatioOne) {
+  std::vector<LbObject> objects(3);
+  for (int i = 0; i < 3; ++i) {
+    objects[static_cast<std::size_t>(i)].elem = i;
+    objects[static_cast<std::size_t>(i)].current_pe = 0;
+  }
+  LbStepStats stats;
+  run_strategy(GreedyLb{}, objects, pes_upto(4), &stats);
+  EXPECT_DOUBLE_EQ(stats.pre_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(stats.post_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace ehpc::charm

@@ -67,14 +67,43 @@ TEST(MetricsCollector, RejectsInvalidInput) {
   EXPECT_THROW(mc.compute(), PreconditionError);  // no jobs
 }
 
+TEST(MetricsCollector, LbStepsAveragedIntoRunMetrics) {
+  MetricsCollector mc(64);
+  mc.add_job(rec(0, 1, 0.0, 0.0, 50.0));
+  mc.record_lb_step(2.0, 10.0);
+  mc.record_lb_step(1.5, 20.0);
+  const RunMetrics m = mc.compute();
+  EXPECT_DOUBLE_EQ(m.lb_post_ratio, 1.75);
+  EXPECT_DOUBLE_EQ(m.lb_migrations_per_step, 15.0);
+  EXPECT_DOUBLE_EQ(m.lb_steps, 2.0);
+}
+
+TEST(MetricsCollector, NoLbStepsYieldBalancedDefaults) {
+  MetricsCollector mc(64);
+  mc.add_job(rec(0, 1, 0.0, 0.0, 50.0));
+  const RunMetrics m = mc.compute();
+  EXPECT_DOUBLE_EQ(m.lb_post_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(m.lb_migrations_per_step, 0.0);
+  EXPECT_DOUBLE_EQ(m.lb_steps, 0.0);
+}
+
+TEST(MetricsCollector, RejectsInvalidLbStep) {
+  MetricsCollector mc(64);
+  EXPECT_THROW(mc.record_lb_step(0.5, 1.0), PreconditionError);
+  EXPECT_THROW(mc.record_lb_step(1.5, -1.0), PreconditionError);
+}
+
 TEST(AverageMetrics, ComponentwiseMean) {
-  RunMetrics a{100.0, 0.8, 10.0, 50.0};
-  RunMetrics b{200.0, 0.6, 30.0, 70.0};
+  RunMetrics a{100.0, 0.8, 10.0, 50.0, 1.2, 4.0, 2.0};
+  RunMetrics b{200.0, 0.6, 30.0, 70.0, 1.8, 8.0, 4.0};
   const RunMetrics avg = average_metrics({a, b});
   EXPECT_DOUBLE_EQ(avg.total_time_s, 150.0);
   EXPECT_DOUBLE_EQ(avg.utilization, 0.7);
   EXPECT_DOUBLE_EQ(avg.weighted_response_s, 20.0);
   EXPECT_DOUBLE_EQ(avg.weighted_completion_s, 60.0);
+  EXPECT_DOUBLE_EQ(avg.lb_post_ratio, 1.5);
+  EXPECT_DOUBLE_EQ(avg.lb_migrations_per_step, 6.0);
+  EXPECT_DOUBLE_EQ(avg.lb_steps, 3.0);
 }
 
 TEST(AverageMetrics, EmptyThrows) {

@@ -54,6 +54,30 @@ TEST(ClusterExperiment, ActualSlowerThanSimulationForSameMix) {
             simulated.metrics.total_time_s * 1.5);
 }
 
+TEST(ClusterExperiment, RescaleBeforePodsReadyIsDeferredNotFatal) {
+  // With rescale_gap 0, the policy can rescale a job whose pods are still
+  // scheduling (start_time is seconds after the decision on this
+  // substrate). The harness must park the target until readiness — it used
+  // to trip `exec.started` preconditions — and overlapping handshakes must
+  // be able to queue multiple ready-waiters on one job. This mix (back-to-
+  // back bursts of short jobs around a big one) reproduces the original
+  // crash seen with the amr_rescale scenario at rescale_gap=0.
+  auto workloads = schedsim::analytic_workloads();
+  // Short jobs: done in ~a minute, so starts/rescales/completions overlap
+  // with pod startup of later submissions.
+  for (auto& [cls, w] : workloads) w.total_steps = 2000;
+  ClusterExperiment exp(config(PolicyMode::kElastic, 0.0), workloads);
+  std::vector<SubmittedJob> mix;
+  const JobClass classes[] = {JobClass::kXLarge, JobClass::kSmall,
+                              JobClass::kLarge, JobClass::kMedium};
+  for (int i = 0; i < 12; ++i) {
+    mix.push_back(job(i, classes[i % 4], 1 + (i * 3) % 5, 1.0 * i));
+  }
+  const auto result = exp.run(mix);
+  ASSERT_EQ(result.jobs.size(), 12u);
+  EXPECT_GT(result.rescale_count, 0);
+}
+
 TEST(ClusterExperiment, ElasticRescalesOnCluster) {
   auto workloads = schedsim::analytic_workloads();
   ClusterExperiment exp(config(PolicyMode::kElastic, 0.0), workloads);

@@ -1,0 +1,43 @@
+#pragma once
+
+// Shared bit-identity assertions for the determinism tests: every RunMetrics
+// field is compared with EXPECT_EQ (not EXPECT_NEAR) because the sweep
+// engine's merge order is defined to be independent of thread scheduling.
+// Adding a RunMetrics field? Extend expect_identical here and both
+// determinism suites pick it up.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/sweep.hpp"
+
+namespace ehpc::scenario {
+
+inline void expect_identical(const elastic::RunMetrics& a,
+                             const elastic::RunMetrics& b,
+                             const std::string& where) {
+  EXPECT_EQ(a.total_time_s, b.total_time_s) << where;
+  EXPECT_EQ(a.utilization, b.utilization) << where;
+  EXPECT_EQ(a.weighted_response_s, b.weighted_response_s) << where;
+  EXPECT_EQ(a.weighted_completion_s, b.weighted_completion_s) << where;
+  EXPECT_EQ(a.lb_post_ratio, b.lb_post_ratio) << where;
+  EXPECT_EQ(a.lb_migrations_per_step, b.lb_migrations_per_step) << where;
+  EXPECT_EQ(a.lb_steps, b.lb_steps) << where;
+}
+
+inline void expect_identical(const SweepResult& serial,
+                             const SweepResult& parallel) {
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t p = 0; p < serial.points.size(); ++p) {
+    EXPECT_EQ(serial.points[p].x, parallel.points[p].x);
+    ASSERT_EQ(serial.points[p].metrics.size(),
+              parallel.points[p].metrics.size());
+    for (const auto& [mode, metrics] : serial.points[p].metrics) {
+      expect_identical(metrics, parallel.points[p].metrics.at(mode),
+                       "point " + std::to_string(p) + " " + to_string(mode));
+    }
+  }
+}
+
+}  // namespace ehpc::scenario

@@ -1,0 +1,171 @@
+// The AMR irregular-workload scenarios: registry entries, per-point workload
+// re-calibration, LB-metric propagation into RunMetrics, and parallel
+// determinism on both substrates (these run in the tsan/asan CI lanes like
+// every scenario test — keep the specs small).
+
+#include <gtest/gtest.h>
+
+#include "charm/load_balancer.hpp"
+#include "expect_identical.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
+
+namespace ehpc::scenario {
+namespace {
+
+using elastic::PolicyMode;
+using elastic::RunMetrics;
+
+/// A small AMR spec: tight submissions and an eager rescale gap so elastic
+/// actually shrinks/expands, few jobs/repeats so TSan stays fast.
+ScenarioSpec small_amr_spec() {
+  ScenarioSpec spec;
+  spec.app = "amr";
+  spec.num_jobs = 6;
+  spec.submission_gap_s = 30.0;
+  spec.rescale_gap_s = 0.0;
+  spec.repeats = 2;
+  spec.policies = {PolicyMode::kElastic};
+  return spec;
+}
+
+TEST(AmrScenarios, AllThreeAreRegisteredAndValid) {
+  auto& registry = ScenarioRegistry::instance();
+  for (const char* name : {"amr_imbalance", "amr_rescale", "amr_lb_ablation"}) {
+    const ScenarioSpec* spec = registry.find(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_EQ(spec->app, "amr") << name;
+    EXPECT_NO_THROW(spec->validate()) << name;
+  }
+  EXPECT_EQ(registry.require("amr_imbalance").axis, SweepAxis::kRefineRate);
+  EXPECT_EQ(registry.require("amr_rescale").axis, SweepAxis::kRescaleGap);
+  EXPECT_EQ(registry.require("amr_lb_ablation").axis, SweepAxis::kLbStrategy);
+}
+
+TEST(AmrScenarios, SpecValidationRejectsBadAmrParameters) {
+  ScenarioSpec spec = small_amr_spec();
+  spec.app = "graph";
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = small_amr_spec();
+  spec.refine_rate = 0.9;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = small_amr_spec();
+  spec.lb_strategy = "bogus";
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  // lb_strategy sweep values must index load_balancer_names().
+  spec = small_amr_spec();
+  spec.axis = SweepAxis::kLbStrategy;
+  spec.axis_values = {0.0, 3.0};
+  EXPECT_THROW(spec.validate(), ConfigError);
+  spec.axis_values = {0.5};
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  // refine_rate sweep values obey the same range as the scalar field.
+  spec = small_amr_spec();
+  spec.axis = SweepAxis::kRefineRate;
+  spec.axis_values = {0.0, 0.9};
+  EXPECT_THROW(spec.validate(), ConfigError);
+  spec.axis_values = {-0.1};
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  // Calibration axes require the AMR app.
+  spec = small_amr_spec();
+  spec.app = "jacobi";
+  spec.axis = SweepAxis::kRefineRate;
+  spec.axis_values = {0.0, 0.1};
+  EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(AmrScenarios, ConfigKeysRoundTripThroughSpecFromConfig) {
+  const char* argv[] = {"test", "scenario=amr_lb_ablation", "app=amr",
+                        "refine_rate=0.2", "lb_strategy=refine", "repeats=2"};
+  const Config cfg = Config::from_args(6, argv, scenario_config_keys());
+  const ScenarioSpec spec = resolve_scenario(cfg);
+  EXPECT_EQ(spec.name, "amr_lb_ablation");
+  EXPECT_DOUBLE_EQ(spec.refine_rate, 0.2);
+  EXPECT_EQ(spec.lb_strategy, "refine");
+  EXPECT_NE(describe(spec).find("lb_strategy=refine"), std::string::npos);
+}
+
+TEST(AmrScenarios, ElasticChurnSurfacesLbMetrics) {
+  // With rescale_gap 0 and contention, elastic shrinks/expands; every
+  // rescale must surface the calibrated imbalance profile into RunMetrics.
+  const auto metrics = compare_policies(small_amr_spec(), 1);
+  const RunMetrics& m = metrics.at(PolicyMode::kElastic);
+  ASSERT_GT(m.lb_steps, 0.0);
+  EXPECT_GT(m.lb_post_ratio, 1.0);
+  EXPECT_GT(m.lb_migrations_per_step, 0.0);
+}
+
+TEST(AmrScenarios, NullLbShowsWorseImbalanceThanGreedy) {
+  ScenarioSpec spec = small_amr_spec();
+  spec.lb_strategy = "null";
+  const auto null_m =
+      compare_policies(spec, 1).at(PolicyMode::kElastic);
+  spec.lb_strategy = "greedy";
+  const auto greedy_m =
+      compare_policies(spec, 1).at(PolicyMode::kElastic);
+  ASSERT_GT(null_m.lb_steps, 0.0);
+  EXPECT_GT(null_m.lb_post_ratio, greedy_m.lb_post_ratio);
+  EXPECT_EQ(null_m.lb_migrations_per_step, 0.0);
+  EXPECT_GT(greedy_m.lb_migrations_per_step, 0.0);
+}
+
+TEST(AmrScenarios, RefineRateSweepRecalibratesPerPoint) {
+  ScenarioSpec spec = small_amr_spec();
+  spec.axis = SweepAxis::kRefineRate;
+  spec.axis_values = {0.0, 0.25};
+  const auto sweep = run_sweep(spec, 1);
+  ASSERT_EQ(sweep.points.size(), 2u);
+  // More refinement -> more work -> longer completions.
+  EXPECT_GT(
+      sweep.points[1].metrics.at(PolicyMode::kElastic).weighted_completion_s,
+      sweep.points[0].metrics.at(PolicyMode::kElastic).weighted_completion_s);
+}
+
+TEST(AmrScenarios, ImbalanceSweepIsBitIdenticalAcrossThreadCounts) {
+  ScenarioSpec spec = small_amr_spec();
+  spec.axis = SweepAxis::kRefineRate;
+  spec.axis_values = {0.0, 0.2};
+  expect_identical(run_sweep(spec, 1), run_sweep(spec, 8));
+}
+
+TEST(AmrScenarios, LbAblationSweepIsBitIdenticalAcrossThreadCounts) {
+  ScenarioSpec spec = small_amr_spec();
+  spec.axis = SweepAxis::kLbStrategy;
+  spec.axis_values = {0.0, 1.0, 2.0};
+  expect_identical(run_sweep(spec, 1), run_sweep(spec, 8));
+}
+
+TEST(AmrScenarios, ClusterSubstrateIsBitIdenticalAcrossThreadCounts) {
+  ScenarioSpec spec = small_amr_spec();
+  spec.substrate = Substrate::kCluster;
+  spec.num_jobs = 4;
+  spec.axis = SweepAxis::kRefineRate;
+  spec.axis_values = {0.0, 0.2};
+  expect_identical(run_sweep(spec, 1), run_sweep(spec, 8));
+}
+
+TEST(AmrScenarios, BothSubstratesRunTheRegisteredScenarios) {
+  // The registered specs themselves, shrunk to smoke size, on each
+  // substrate (the acceptance bar for "runnable on both backends").
+  for (const char* name : {"amr_imbalance", "amr_rescale", "amr_lb_ablation"}) {
+    for (const Substrate substrate :
+         {Substrate::kSchedSim, Substrate::kCluster}) {
+      ScenarioSpec spec = ScenarioRegistry::instance().require(name);
+      spec.substrate = substrate;
+      spec.repeats = 1;
+      spec.num_jobs = 3;
+      if (spec.axis_values.size() > 2) spec.axis_values.resize(2);
+      const auto sweep = run_sweep(spec, 2);
+      ASSERT_EQ(sweep.points.size(), spec.axis_values.size())
+          << name << " on " << to_string(substrate);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ehpc::scenario

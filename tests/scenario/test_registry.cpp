@@ -27,6 +27,26 @@ TEST(ScenarioRegistry, NamesAreUnique) {
   }
 }
 
+TEST(ScenarioRegistry, DuplicateNameIsAHardError) {
+  auto& registry = ScenarioRegistry::instance();
+  const std::size_t before = registry.scenarios().size();
+  ScenarioSpec dup;
+  dup.name = "table1";  // collides with a built-in
+  dup.description = "imposter";
+  try {
+    registry.add(dup);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& err) {
+    EXPECT_NE(std::string(err.what()).find("table1"), std::string::npos);
+    EXPECT_NE(std::string(err.what()).find("already registered"),
+              std::string::npos);
+  }
+  // The rejected spec must not have been (partially) registered.
+  EXPECT_EQ(registry.scenarios().size(), before);
+  EXPECT_EQ(registry.require("table1").description.find("imposter"),
+            std::string::npos);
+}
+
 TEST(ScenarioRegistry, SweepScenariosMatchTheFigures) {
   auto& registry = ScenarioRegistry::instance();
   const ScenarioSpec& fig7 = registry.require("fig7_submission_gap");

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "scenario/sweep.hpp"
+#include "expect_identical.hpp"
 
 namespace ehpc::scenario {
 namespace {
@@ -19,29 +20,6 @@ ScenarioSpec fast_spec() {
   spec.calibrated = false;
   spec.seed = 2025;
   return spec;
-}
-
-void expect_identical(const RunMetrics& a, const RunMetrics& b,
-                      const std::string& where) {
-  // Bitwise equality, not EXPECT_NEAR: the merge order is defined to be
-  // independent of thread scheduling.
-  EXPECT_EQ(a.total_time_s, b.total_time_s) << where;
-  EXPECT_EQ(a.utilization, b.utilization) << where;
-  EXPECT_EQ(a.weighted_response_s, b.weighted_response_s) << where;
-  EXPECT_EQ(a.weighted_completion_s, b.weighted_completion_s) << where;
-}
-
-void expect_identical(const SweepResult& serial, const SweepResult& parallel) {
-  ASSERT_EQ(serial.points.size(), parallel.points.size());
-  for (std::size_t p = 0; p < serial.points.size(); ++p) {
-    EXPECT_EQ(serial.points[p].x, parallel.points[p].x);
-    ASSERT_EQ(serial.points[p].metrics.size(),
-              parallel.points[p].metrics.size());
-    for (const auto& [mode, metrics] : serial.points[p].metrics) {
-      expect_identical(metrics, parallel.points[p].metrics.at(mode),
-                       "point " + std::to_string(p) + " " + to_string(mode));
-    }
-  }
 }
 
 TEST(SweepParallel, SubmissionGapSweepIsBitIdenticalAcrossThreadCounts) {
