@@ -31,6 +31,86 @@ void BM_SimulationEventDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulationEventDispatch)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// Cancel-heavy (timeout/retry pattern): schedule a batch at staggered future
+// times, cancel 7/8 of it, run the rest. Exercises generation tombstones and
+// queue compaction; a persistent kernel pins steady-state slot recycling.
+void BM_SimulationScheduleCancel(benchmark::State& state) {
+  sim::Simulation sim;
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<sim::EventId> ids(static_cast<std::size_t>(batch));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          sim.schedule_at(sim.now() + 1.0 + i, [] {});
+    }
+    for (int i = 0; i < batch; ++i) {
+      if (i % 8 != 0) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SimulationScheduleCancel)->Arg(1024)->Arg(16384);
+
+// Classic hold model: N pending events in steady state; each operation pops
+// the earliest event and schedules a replacement at a random future offset.
+// Measures the queue at constant occupancy (no cold-start effects).
+void BM_SimulationChurnHold(benchmark::State& state) {
+  sim::Simulation sim;
+  Rng rng(11);
+  const int occupancy = static_cast<int>(state.range(0));
+  for (int i = 0; i < occupancy; ++i) {
+    sim.schedule_at(rng.uniform(0.0, 2.0), [] {});
+  }
+  for (auto _ : state) {
+    sim.step();
+    sim.schedule_at(sim.now() + rng.uniform(0.0, 2.0), [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulationChurnHold)->Arg(256)->Arg(4096)->Arg(65536);
+
+// Same-timestamp chains (zero-delay reconcile hops): drain a FIFO of events
+// scheduled at exactly now(). Hits the bucket fast path, never the heap.
+void BM_SimulationSameTimeChain(benchmark::State& state) {
+  sim::Simulation sim;
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) sim.schedule_now([] {});
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulationSameTimeChain)->Arg(1000)->Arg(10000);
+
+// Mixed timestamp distribution: ascending arrivals interleaved with random
+// backfill (out-of-order, lands in the heap) and same-time events. The
+// realistic blend across the bucket / sorted-run / heap lanes.
+void BM_SimulationMixedTimestamps(benchmark::State& state) {
+  sim::Simulation sim;
+  Rng rng(23);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const double base = sim.now();
+    for (int i = 0; i < n; ++i) {
+      switch (i % 10) {
+        case 3:
+        case 7:  // backfill: behind the latest pending timestamp
+          sim.schedule_at(base + rng.uniform(0.0, 0.1 * i), [] {});
+          break;
+        case 5:  // same-time chain
+          sim.schedule_now([] {});
+          break;
+        default:  // in-order arrival
+          sim.schedule_at(base + 0.1 * i, [] {});
+      }
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulationMixedTimestamps)->Arg(1000)->Arg(10000);
+
 struct NopChare final : charm::Chare {
   void pup(charm::Pup&) override {}
 };
@@ -52,6 +132,28 @@ void BM_RuntimeMessageDelivery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_RuntimeMessageDelivery)->Arg(1000)->Arg(10000);
+
+// Same delivery load through a pre-registered entry method: dispatch is
+// fully pre-resolved, no per-message callable copy.
+void BM_RuntimeEntrySendDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    charm::RuntimeConfig cfg;
+    cfg.num_pes = 16;
+    charm::Runtime rt(cfg);
+    auto array = rt.create_array("a", 64, [](charm::ElementId) {
+      return std::make_unique<NopChare>();
+    });
+    const charm::EntryId entry =
+        rt.register_entry([](charm::Chare&, charm::Runtime&) {});
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      rt.send(array, i % 64, 64, entry);
+    }
+    benchmark::DoNotOptimize(rt.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RuntimeEntrySendDelivery)->Arg(1000)->Arg(10000);
 
 void BM_LoadBalancer(benchmark::State& state, const char* name) {
   Rng rng(7);

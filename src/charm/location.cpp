@@ -13,13 +13,6 @@ ArrayId LocationManager::add_array(int num_elements, int num_pes) {
   return static_cast<ArrayId>(maps_.size()) - 1;
 }
 
-PeId LocationManager::pe_of(ArrayId array, ElementId elem) const {
-  EHPC_EXPECTS(array >= 0 && array < num_arrays());
-  const auto& map = maps_[static_cast<std::size_t>(array)];
-  EHPC_EXPECTS(elem >= 0 && static_cast<std::size_t>(elem) < map.size());
-  return map[static_cast<std::size_t>(elem)];
-}
-
 void LocationManager::set_pe(ArrayId array, ElementId elem, PeId pe) {
   EHPC_EXPECTS(array >= 0 && array < num_arrays());
   auto& map = maps_[static_cast<std::size_t>(array)];

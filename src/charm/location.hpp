@@ -16,7 +16,15 @@ class LocationManager {
   /// `num_pes`. Returns the array id.
   ArrayId add_array(int num_elements, int num_pes);
 
-  PeId pe_of(ArrayId array, ElementId elem) const;
+  // Inline: one lookup per delivered message (the runtime's dispatch path).
+  PeId pe_of(ArrayId array, ElementId elem) const {
+    EHPC_EXPECTS(array >= 0 &&
+                 static_cast<std::size_t>(array) < maps_.size());
+    const auto& map = maps_[static_cast<std::size_t>(array)];
+    EHPC_EXPECTS(elem >= 0 && static_cast<std::size_t>(elem) < map.size());
+    return map[static_cast<std::size_t>(elem)];
+  }
+
   void set_pe(ArrayId array, ElementId elem, PeId pe);
 
   int num_elements(ArrayId array) const;

@@ -39,11 +39,14 @@ Runtime::Runtime(RuntimeConfig config)
   EHPC_EXPECTS(config_.flop_rate > 0.0);
   EHPC_EXPECTS(config_.shm_bandwidth_Bps > 0.0);
   pes_.resize(static_cast<std::size_t>(num_pes_));
+  rebuild_node_table();
 }
 
-int Runtime::node_of(PeId pe) const {
-  if (pe < 0) return -1;
-  return pe / config_.pes_per_node;
+void Runtime::rebuild_node_table() {
+  node_of_.resize(static_cast<std::size_t>(num_pes_));
+  for (int pe = 0; pe < num_pes_; ++pe) {
+    node_of_[static_cast<std::size_t>(pe)] = pe / config_.pes_per_node;
+  }
 }
 
 ArrayId Runtime::create_array(std::string name, int num_elements,
@@ -85,21 +88,71 @@ void Runtime::set_bytes_scale(ArrayId array, double scale) {
   array_state(array).bytes_scale = scale;
 }
 
-void Runtime::send(ArrayId array, ElementId elem, std::size_t bytes, Handler fn) {
-  EHPC_EXPECTS(fn != nullptr);
-  Envelope env{array, elem, bytes, std::move(fn)};
+Runtime::EnvIndex Runtime::alloc_env(ArrayId array, ElementId elem,
+                                     std::size_t bytes, EntryId entry,
+                                     Handler&& fn) {
+  EnvIndex idx;
+  if (!env_free_.empty()) {
+    idx = env_free_.back();
+    env_free_.pop_back();
+  } else {
+    idx = env_high_water_++;
+    if ((idx >> kEnvChunkShift) == env_chunks_.size()) {
+      env_chunks_.push_back(std::make_unique<Envelope[]>(kEnvChunkSize));
+    }
+  }
+  Envelope& env = env_at(idx);
+  env.array = array;
+  env.elem = elem;
+  env.bytes = bytes;
+  env.entry = entry;
+  env.fn = std::move(fn);
+  return idx;
+}
+
+void Runtime::release_env(EnvIndex idx) {
+  env_at(idx).fn = nullptr;
+  env_free_.push_back(idx);
+}
+
+void Runtime::enqueue_send(ArrayId array, ElementId elem, std::size_t bytes,
+                           EntryId entry, Handler&& fn) {
+  const EnvIndex idx = alloc_env(array, elem, bytes, entry, std::move(fn));
   if (in_handler_) {
     // Effects of an entry method take hold at its completion time; buffer
     // until the handler's duration is known.
-    ctx_sends_.push_back(std::move(env));
+    ctx_sends_.push_back(idx);
   } else {
-    dispatch(std::move(env), /*from_pe=*/0, sim_.now());
+    dispatch(idx, /*from_pe=*/0, sim_.now());
   }
+}
+
+EntryId Runtime::register_entry(Handler fn) {
+  EHPC_EXPECTS(fn != nullptr);
+  entries_.push_back(std::move(fn));
+  return static_cast<EntryId>(entries_.size()) - 1;
+}
+
+void Runtime::send(ArrayId array, ElementId elem, std::size_t bytes, Handler fn) {
+  EHPC_EXPECTS(fn != nullptr);
+  enqueue_send(array, elem, bytes, kInvalidEntry, std::move(fn));
+}
+
+void Runtime::send(ArrayId array, ElementId elem, std::size_t bytes,
+                   EntryId entry) {
+  EHPC_EXPECTS(entry >= 0 &&
+               static_cast<std::size_t>(entry) < entries_.size());
+  enqueue_send(array, elem, bytes, entry, nullptr);
 }
 
 void Runtime::broadcast(ArrayId array, std::size_t bytes, const Handler& fn) {
   const int n = loc_.num_elements(array);
   for (ElementId e = 0; e < n; ++e) send(array, e, bytes, fn);
+}
+
+void Runtime::broadcast(ArrayId array, std::size_t bytes, EntryId entry) {
+  const int n = loc_.num_elements(array);
+  for (ElementId e = 0; e < n; ++e) send(array, e, bytes, entry);
 }
 
 void Runtime::charge_flops(double flops) {
@@ -129,7 +182,8 @@ void Runtime::set_restart_handler(RestartHandler handler) {
   restart_handler_ = std::move(handler);
 }
 
-void Runtime::dispatch(Envelope env, PeId from_pe, sim::Time send_time) {
+void Runtime::dispatch(EnvIndex env_idx, PeId from_pe, sim::Time send_time) {
+  const Envelope& env = env_at(env_idx);
   const PeId dst = loc_.pe_of(env.array, env.elem);
   const int src_node = node_of(from_pe);
   const int dst_node = node_of(dst);
@@ -144,28 +198,40 @@ void Runtime::dispatch(Envelope env, PeId from_pe, sim::Time send_time) {
         static_cast<double>(env.bytes) / config_.nic_bandwidth_Bps;
   }
   const double cost = config_.network.message_time(env.bytes, src_node, dst_node);
-  sim_.schedule_at(depart + cost, [this, dst, env = std::move(env)]() mutable {
-    on_arrival(dst, std::move(env));
-  });
+  sim_.schedule_at(depart + cost,
+                   [this, dst, env_idx] { on_arrival(dst, env_idx); });
 }
 
-void Runtime::on_arrival(PeId pe, Envelope env) {
+void Runtime::on_arrival(PeId pe, EnvIndex env_idx) {
   // The destination PE may have disappeared in a shrink that raced with the
   // message; re-resolve so delivery follows the object, like Charm++'s
   // location manager forwarding.
-  if (pe >= num_pes_) pe = loc_.pe_of(env.array, env.elem);
+  if (pe >= num_pes_) {
+    const Envelope& env = env_at(env_idx);
+    pe = loc_.pe_of(env.array, env.elem);
+  }
   EHPC_ENSURES(pe >= 0 && pe < num_pes_);
   auto& state = pes_[static_cast<std::size_t>(pe)];
-  state.queue.push_back(std::move(env));
+  state.push(env_idx);
   if (!state.busy) start_service(pe);
 }
 
 void Runtime::start_service(PeId pe) {
   auto& state = pes_[static_cast<std::size_t>(pe)];
-  EHPC_ENSURES(!state.busy && !state.queue.empty());
+  EHPC_ENSURES(!state.busy && !state.queue_empty());
   state.busy = true;
-  Envelope env = std::move(state.queue.front());
-  state.queue.pop_front();
+  const EnvIndex env_idx = state.pop();
+
+  // Unpack the envelope and recycle it before user code runs: handlers may
+  // send (growing the pool), and the freed envelope caps pool growth at the
+  // in-flight high-water mark.
+  Envelope& env = env_at(env_idx);
+  const ArrayId array = env.array;
+  const ElementId elem = env.elem;
+  const EntryId entry = env.entry;
+  Handler local_fn;
+  if (entry == kInvalidEntry) local_fn = std::move(env.fn);
+  release_env(env_idx);
 
   // Execute the entry method now (virtual service start); its effects are
   // stamped at the completion time derived from the charged flops.
@@ -173,34 +239,49 @@ void Runtime::start_service(PeId pe) {
   in_handler_ = true;
   ctx_pe_ = pe;
   ctx_flops_ = 0.0;
-  ctx_array_ = env.array;
-  ctx_elem_ = env.elem;
+  ctx_array_ = array;
+  ctx_elem_ = elem;
   ctx_sends_.clear();
   ctx_contributes_.clear();
 
-  Chare& chare = element(env.array, env.elem);
-  env.fn(chare, *this);
+  {
+    auto& arr = array_state(array);
+    EHPC_EXPECTS(elem >= 0 &&
+                 static_cast<std::size_t>(elem) < arr.elements.size());
+    // The Chare lives behind a unique_ptr: stable even if the handler
+    // creates a new array and arrays_ reallocates (which is why arr is not
+    // reused past this block).
+    Chare& chare = *arr.elements[static_cast<std::size_t>(elem)];
+    // entries_ is a deque: the reference stays valid even if the handler
+    // registers more entry methods.
+    Handler& fn = entry != kInvalidEntry
+                      ? entries_[static_cast<std::size_t>(entry)]
+                      : local_fn;
+    fn(chare, *this);
+  }
 
   const double duration =
       config_.handler_overhead_s + ctx_flops_ / config_.flop_rate;
   const sim::Time completion = sim_.now() + duration;
 
-  auto& arr = array_state(env.array);
-  arr.load_s[static_cast<std::size_t>(env.elem)] += ctx_flops_ / config_.flop_rate;
+  array_state(array).load_s[static_cast<std::size_t>(elem)] +=
+      ctx_flops_ / config_.flop_rate;
 
   in_handler_ = false;
-  auto sends = std::move(ctx_sends_);
-  auto contributes = std::move(ctx_contributes_);
-  ctx_sends_.clear();
-  ctx_contributes_.clear();
+  // The buffered sends/contributes are flushed in place: dispatch and
+  // flush_contribute run no user code (they only schedule), so the context
+  // buffers cannot be re-entered — they are cleared at the next handler
+  // start, keeping their capacity for reuse.
+  for (const EnvIndex s : ctx_sends_) dispatch(s, pe, completion);
+  for (const auto& c : ctx_contributes_) flush_contribute(c, completion);
 
-  for (auto& s : sends) dispatch(std::move(s), pe, completion);
-  for (const auto& c : contributes) flush_contribute(c, completion);
-
-  sim_.schedule_at(completion, [this, pe] {
+  // The epoch guard retires this completion if the PE set is rebuilt first
+  // (a non-quiescent fail_and_recover): the old PE died with its process.
+  sim_.schedule_at(completion, [this, pe, epoch = pe_epoch_] {
+    if (epoch != pe_epoch_) return;
     auto& st = pes_[static_cast<std::size_t>(pe)];
     st.busy = false;
-    if (!st.queue.empty()) start_service(pe);
+    if (!st.queue_empty()) start_service(pe);
   });
 }
 
@@ -257,7 +338,7 @@ bool Runtime::poll_rescale() {
 
 void Runtime::assert_quiescent() const {
   for (const auto& pe : pes_) {
-    EHPC_EXPECTS(!pe.busy && pe.queue.empty());
+    EHPC_EXPECTS(!pe.busy && pe.queue_empty());
   }
   for (const auto& arr : arrays_) {
     EHPC_EXPECTS(!arr.reduction.started);
@@ -354,14 +435,27 @@ double Runtime::stage_checkpoint(MemCheckpoint& out) {
   return stage;
 }
 
+void Runtime::reset_pes(int new_pes) {
+  // Queued-but-undelivered envelopes die with their PE queues; return them
+  // to the pool so they are not leaked until the next reset.
+  for (auto& pe : pes_) {
+    for (std::size_t i = pe.head; i < pe.queue.size(); ++i) {
+      release_env(pe.queue[i]);
+    }
+  }
+  pes_.assign(static_cast<std::size_t>(new_pes), PeState{});
+  ++pe_epoch_;  // retires in-flight completion events of the old PE set
+}
+
 double Runtime::stage_restart(int new_pes) {
   // Tear down the old processes: element objects die with them (their state
   // lives in the checkpoint), queues are rebuilt empty.
   for (auto& arr : arrays_) {
     for (auto& chare : arr.elements) chare.reset();
   }
-  pes_.assign(static_cast<std::size_t>(new_pes), PeState{});
+  reset_pes(new_pes);
   num_pes_ = new_pes;
+  rebuild_node_table();
   std::fill(node_egress_busy_.begin(), node_egress_busy_.end(), 0.0);
   // mpirun startup cost grows with the number of ranks (paper Fig. 5).
   return config_.startup_alpha_s +
@@ -507,8 +601,9 @@ void Runtime::fail_and_recover() {
     arr.reduction = ReductionState{};
     std::fill(arr.load_s.begin(), arr.load_s.end(), 0.0);
   }
-  pes_.assign(static_cast<std::size_t>(disk_checkpoint_pes_), PeState{});
+  reset_pes(disk_checkpoint_pes_);
   num_pes_ = disk_checkpoint_pes_;
+  rebuild_node_table();
   std::fill(node_egress_busy_.begin(), node_egress_busy_.end(), 0.0);
 
   // Restore elements and their checkpoint-time placement.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -49,6 +50,13 @@ struct RuntimeConfig {
 /// Reduction combiners available to `contribute`.
 enum class ReduceOp { kSum, kMax, kMin };
 
+/// Handle to an entry method pre-registered with `Runtime::register_entry`.
+/// Dispatch through an EntryId is fully pre-resolved: delivery copies no
+/// callable and performs no hashing — the hot path for per-iteration sends.
+using EntryId = int;
+
+inline constexpr EntryId kInvalidEntry = -1;
+
 /// The minicharm runtime: a message-driven, migratable-objects runtime
 /// emulated in virtual time (BigSim style).
 ///
@@ -76,7 +84,15 @@ class Runtime {
 
   // ---- topology ----
   int num_pes() const { return num_pes_; }
-  int node_of(PeId pe) const;
+  int node_of(PeId pe) const {
+    // Table lookup for live PEs; the division fallback serves out-of-range
+    // queries (e.g. historical PE ids after a shrink).
+    if (pe < 0) return -1;
+    if (static_cast<std::size_t>(pe) < node_of_.size()) {
+      return node_of_[static_cast<std::size_t>(pe)];
+    }
+    return pe / config_.pes_per_node;
+  }
   sim::Time now() const { return sim_.now(); }
   const RuntimeConfig& config() const { return config_; }
 
@@ -105,14 +121,27 @@ class Runtime {
 
   // ---- messaging ----
 
+  /// Register an entry method once; subsequent sends address it by id.
+  /// Registered handlers live for the runtime's lifetime.
+  EntryId register_entry(Handler fn);
+
   /// Send a message of `bytes` to an element; `fn` runs on the destination
   /// as the entry method. Callable from inside a handler (cost charged from
   /// the executing PE at handler completion) or from driver/reduction-client
   /// context (charged from PE 0 at the current time).
   void send(ArrayId array, ElementId elem, std::size_t bytes, Handler fn);
 
-  /// Send `fn` to every element of the array.
+  /// Send addressed to a pre-registered entry method: no per-message
+  /// callable copy, envelope comes from the pool.
+  void send(ArrayId array, ElementId elem, std::size_t bytes, EntryId entry);
+
+  /// Send `fn` to every element of the array. Copies `fn` once per element;
+  /// hot-loop broadcasts should register the handler and use the EntryId
+  /// overload instead.
   void broadcast(ArrayId array, std::size_t bytes, const Handler& fn);
+
+  /// Broadcast a pre-registered entry method (no callable copies at all).
+  void broadcast(ArrayId array, std::size_t bytes, EntryId entry);
 
   /// Add compute work to the currently executing entry method. Only valid
   /// inside a handler. The work also counts toward the element's LB load.
@@ -195,12 +224,20 @@ class Runtime {
   std::size_t run_until(sim::Time until);
 
  private:
+  /// In-flight message. Envelopes are pooled (free-list indexed by EnvIndex)
+  /// so steady-state messaging recycles storage instead of allocating; the
+  /// scheduled arrival event only carries the pool index.
   struct Envelope {
-    ArrayId array;
-    ElementId elem;
-    std::size_t bytes;
-    Handler fn;
+    ArrayId array = -1;
+    ElementId elem = -1;
+    std::size_t bytes = 0;
+    EntryId entry = kInvalidEntry;  // registered dispatch; fn unused if set
+    Handler fn;                     // ad hoc dispatch
   };
+  using EnvIndex = std::uint32_t;
+  static constexpr std::uint32_t kEnvChunkShift = 6;  // 64 envelopes per chunk
+  static constexpr std::uint32_t kEnvChunkSize = 1u << kEnvChunkShift;
+  static constexpr std::uint32_t kEnvChunkMask = kEnvChunkSize - 1;
   struct PendingContribute {
     ArrayId array;
     double value;
@@ -222,17 +259,48 @@ class Runtime {
     ReductionState reduction;
     ReductionClient client;
   };
+  /// Per-PE delivery queue: a FIFO ring of envelope-pool indices. Storage
+  /// is reset on drain, and the consumed prefix is reclaimed even while
+  /// backlogged (a PE fed as fast as it services would otherwise accrete
+  /// one dead index per message for the whole run).
   struct PeState {
-    std::deque<Envelope> queue;
+    std::vector<EnvIndex> queue;
+    std::size_t head = 0;
     bool busy = false;
+
+    bool queue_empty() const { return head == queue.size(); }
+    void push(EnvIndex idx) { queue.push_back(idx); }
+    EnvIndex pop() {
+      const EnvIndex idx = queue[head++];
+      if (head == queue.size()) {
+        queue.clear();
+        head = 0;
+      } else if (head >= 64 && 2 * head >= queue.size()) {
+        queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+      return idx;
+    }
   };
 
   ArrayState& array_state(ArrayId array);
   const ArrayState& array_state(ArrayId array) const;
 
+  Envelope& env_at(EnvIndex idx) {
+    return env_chunks_[idx >> kEnvChunkShift][idx & kEnvChunkMask];
+  }
+  EnvIndex alloc_env(ArrayId array, ElementId elem, std::size_t bytes,
+                     EntryId entry, Handler&& fn);
+  void release_env(EnvIndex idx);
+  void enqueue_send(ArrayId array, ElementId elem, std::size_t bytes,
+                    EntryId entry, Handler&& fn);
+  /// Drop all queued (undelivered) envelopes and rebuild `new_pes` empty PEs.
+  void reset_pes(int new_pes);
+  void rebuild_node_table();
+
   // Deliver an envelope to its destination PE at `arrival`.
-  void dispatch(Envelope env, PeId from_pe, sim::Time send_time);
-  void on_arrival(PeId pe, Envelope env);
+  void dispatch(EnvIndex env, PeId from_pe, sim::Time send_time);
+  void on_arrival(PeId pe, EnvIndex env);
   void start_service(PeId pe);
   void flush_contribute(const PendingContribute& c, sim::Time at);
   double tree_latency(int pes) const;
@@ -255,6 +323,18 @@ class Runtime {
   std::vector<ArrayState> arrays_;
   std::vector<PeState> pes_;
   int num_pes_;
+  // Bumped whenever pes_ is rebuilt (rescale restart, failure recovery);
+  // pending completion events from the previous PE set compare and retire.
+  std::uint32_t pe_epoch_ = 0;
+
+  // Message envelope pool (chunked arena: stable addresses, no moves on
+  // growth, free-list recycling) and the registered entry-method table
+  // (deque: handler references stay stable while handlers register more).
+  std::vector<std::unique_ptr<Envelope[]>> env_chunks_;
+  std::uint32_t env_high_water_ = 0;
+  std::vector<EnvIndex> env_free_;
+  std::deque<Handler> entries_;
+  std::vector<int> node_of_;  // node id per live PE (avoids hot-path division)
 
   // Execution context of the currently running entry method.
   bool in_handler_ = false;
@@ -262,7 +342,7 @@ class Runtime {
   double ctx_flops_ = 0.0;
   ArrayId ctx_array_ = -1;
   ElementId ctx_elem_ = -1;
-  std::vector<Envelope> ctx_sends_;
+  std::vector<EnvIndex> ctx_sends_;
   std::vector<PendingContribute> ctx_contributes_;
 
   RestartHandler restart_handler_;

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ehpc::sim {
+
+template <typename Signature>
+class SmallFunction;
+
+/// A move-only callable with a 64-byte inline buffer.
+///
+/// The event kernel stores one callback per scheduled event; with
+/// std::function every capturing lambda beyond ~2 words costs a heap
+/// allocation on the schedule path. SmallFunction keeps callables of up to
+/// kInlineBytes (that are nothrow-move-constructible) inside the object, so
+/// arena-resident events never touch the allocator. Larger or throwing-move
+/// callables transparently fall back to a heap box.
+///
+/// Callables that are trivially copyable and trivially destructible (the
+/// overwhelming majority of event lambdas: captures of pointers, ids and
+/// doubles) skip the manage indirection entirely — relocation is a raw
+/// 64-byte copy and destruction is a no-op (`manage_ == nullptr`).
+template <typename R, typename... Args>
+class SmallFunction<R(Args...)> {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  SmallFunction() noexcept = default;
+  SmallFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunction(F&& fn) {  // NOLINT(runtime/explicit)
+    if constexpr (trivial_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      invoke_ = [](void* obj, Args... args) -> R {
+        return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+      };
+    } else if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      invoke_ = [](void* obj, Args... args) -> R {
+        return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* self, void* dst) {
+        D* fn_self = static_cast<D*>(self);
+        if (op == Op::kRelocate) ::new (dst) D(std::move(*fn_self));
+        fn_self->~D();
+      };
+    } else {
+      *reinterpret_cast<void**>(buf_) = new D(std::forward<F>(fn));
+      invoke_ = [](void* obj, Args... args) -> R {
+        return (**static_cast<D**>(obj))(std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* self, void* dst) {
+        if (op == Op::kRelocate) {
+          *static_cast<D**>(dst) = *static_cast<D**>(self);
+        } else {
+          delete *static_cast<D**>(self);
+        }
+      };
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  friend bool operator==(const SmallFunction& fn, std::nullptr_t) noexcept {
+    return !fn;
+  }
+
+ private:
+  enum class Op { kRelocate, kDestroy };
+  using Invoke = R (*)(void*, Args...);
+  using Manage = void (*)(Op, void* self, void* dst);
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr bool trivial_inline =
+      fits_inline<D> && std::is_trivially_copyable_v<D> &&
+      std::is_trivially_destructible_v<D>;
+
+  void move_from(SmallFunction& other) noexcept {
+    if (other.invoke_ != nullptr) {
+      if (other.manage_ != nullptr) {
+        other.manage_(Op::kRelocate, other.buf_, buf_);
+        manage_ = other.manage_;
+        other.manage_ = nullptr;
+      } else {
+        // Whole-buffer copy: the callable may occupy any prefix of buf_;
+        // the indeterminate tail is copied but never read.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+      }
+      invoke_ = other.invoke_;
+      other.invoke_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (invoke_ != nullptr) {
+      if (manage_ != nullptr) {
+        manage_(Op::kDestroy, buf_, nullptr);
+        manage_ = nullptr;
+      }
+      invoke_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace ehpc::sim

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Compare benchmark results against committed baselines and fail on regression.
+
+Two modes:
+
+  perf_gate.py micro BASELINE.json CANDIDATE.json [--min-ratio R]
+      BASELINE/CANDIDATE are Google Benchmark --benchmark_format=json files.
+      For every baseline benchmark the candidate must reach at least
+      R * baseline throughput (items_per_second when reported, else
+      1 / real_time). Missing benchmarks fail; new candidate benchmarks
+      warn that the baseline wants a refresh.
+
+  perf_gate.py wall BASELINE_summary.json CANDIDATE_summary.json [--max-ratio R]
+      BASELINE/CANDIDATE are bench_run_all summary.json files. Every bench's
+      candidate wall_ms must stay within R * baseline wall_ms.
+
+Tolerance policy: committed baselines are measured on the CI profile, but
+runner hardware varies between jobs, so the gate is a guardrail against
+*large* regressions (the default --min-ratio 0.4 trips on a >2.5x slowdown),
+not a precision instrument. Numbers for the README/ROADMAP come from local
+before/after runs on one machine.
+
+Refresh workflow (after an intentional perf change):
+  ./build/bench/bench_micro_benchmarks --benchmark_format=json \
+      --benchmark_out=bench/baselines/micro/micro_benchmarks.json
+  ./build/bench/bench_run_all --quick out_dir=bench/baselines/quick   # wall_ms
+and commit the result, citing the change that moved the numbers.
+
+Waiver: a known-noisy run can be re-gated with an explicit looser ratio,
+e.g. `perf_gate.py micro ... --min-ratio 0.3`; lowering the default in CI
+requires touching .github/workflows/ci.yml, which makes the waiver visible
+in review.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_json(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def micro_throughput(entry: dict) -> float:
+    """Benchmark throughput in ops/s (higher is better)."""
+    if "items_per_second" in entry:
+        return float(entry["items_per_second"])
+    # real_time is per-iteration in `time_unit`; fall back to its inverse.
+    return 1.0 / max(float(entry["real_time"]), 1e-12)
+
+
+def gate_micro(args: argparse.Namespace) -> int:
+    baseline = {
+        b["name"]: b
+        for b in load_json(args.baseline)["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"
+    }
+    candidate = {
+        b["name"]: b
+        for b in load_json(args.candidate)["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+    failures = []
+    for name in sorted(baseline):
+        if name not in candidate:
+            failures.append(f"{name}: missing from candidate run")
+            continue
+        base = micro_throughput(baseline[name])
+        cand = micro_throughput(candidate[name])
+        ratio = cand / base if base > 0 else float("inf")
+        status = "OK" if ratio >= args.min_ratio else "FAIL"
+        print(f"{status:4} {name}: {cand / 1e6:.2f}M/s vs baseline "
+              f"{base / 1e6:.2f}M/s (ratio {ratio:.2f}, floor "
+              f"{args.min_ratio:.2f})")
+        if ratio < args.min_ratio:
+            failures.append(f"{name}: throughput ratio {ratio:.2f} < "
+                            f"{args.min_ratio:.2f}")
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"note {name}: not in baseline — refresh "
+              f"{args.baseline} to start gating it")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} micro-benchmark regression(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("see tools/perf_gate.py docstring for the refresh/waiver "
+              "workflow", file=sys.stderr)
+        return 1
+    print("OK: all micro-benchmarks within tolerance")
+    return 0
+
+
+def gate_wall(args: argparse.Namespace) -> int:
+    baseline = {b["bench"]: b for b in load_json(args.baseline)["benches"]}
+    candidate = {b["bench"]: b for b in load_json(args.candidate)["benches"]}
+
+    failures = []
+    for name in sorted(baseline):
+        if name not in candidate:
+            failures.append(f"{name}: missing from candidate run")
+            continue
+        base = float(baseline[name]["wall_ms"])
+        cand = float(candidate[name]["wall_ms"])
+        if base <= 0:
+            # A zero/negative baseline can never gate anything; fail closed.
+            failures.append(f"{name}: baseline wall_ms {base} is not gateable "
+                            "— refresh the committed baseline")
+            continue
+        ratio = cand / base
+        status = "OK" if ratio <= args.max_ratio else "FAIL"
+        print(f"{status:4} {name}: {cand:.1f} ms vs baseline {base:.1f} ms "
+              f"(ratio {ratio:.2f}, ceiling {args.max_ratio:.2f})")
+        if ratio > args.max_ratio:
+            failures.append(f"{name}: wall-clock ratio {ratio:.2f} > "
+                            f"{args.max_ratio:.2f}")
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"note {name}: not in baseline — refresh "
+              f"{args.baseline} to start gating it")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} wall-clock regression(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("OK: all bench wall-clocks within tolerance")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    micro = sub.add_parser("micro", help="gate Google Benchmark JSON output")
+    micro.add_argument("baseline")
+    micro.add_argument("candidate")
+    micro.add_argument("--min-ratio", type=float, default=0.4,
+                       help="candidate/baseline throughput floor "
+                            "(default 0.4 = fail on >2.5x slowdown)")
+    micro.set_defaults(func=gate_micro)
+
+    wall = sub.add_parser("wall", help="gate bench_run_all summary.json wall_ms")
+    wall.add_argument("baseline")
+    wall.add_argument("candidate")
+    wall.add_argument("--max-ratio", type=float, default=3.0,
+                      help="candidate/baseline wall-clock ceiling "
+                           "(default 3.0)")
+    wall.set_defaults(func=gate_wall)
+
+    args = parser.parse_args()
+    for path in (args.baseline, args.candidate):
+        if not Path(path).is_file():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
