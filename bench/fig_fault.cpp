@@ -1,0 +1,169 @@
+// Beyond-paper figure: policies under failure injection. Four panels:
+//   a) the fixed crash/eviction schedule (fault_recovery): every §4.3
+//      metric plus the recovery accounting, per policy;
+//   b) scheduler metrics vs crash MTBF with a fixed checkpoint cadence and
+//      a prun-style failure budget (fault_churn);
+//   c) the checkpoint-period tradeoff at a fixed MTBF: short periods pay
+//      checkpoint overhead, long periods pay lost work;
+//   d) load-balancer ablation under a crash chain on the AMR workload
+//      (fault_lb_ablation): recovery re-placement quality per LB strategy.
+//
+// The experiments are the registered fault scenarios; this driver overlays
+// flags and renders tables.
+
+#include <tuple>
+
+#include "bench/lib/registry.hpp"
+#include "charm/load_balancer.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
+
+using namespace ehpc;
+using elastic::PolicyMode;
+
+namespace {
+
+std::string join_values_text(const std::vector<double>& values) {
+  std::string out;
+  for (const double v : values) {
+    if (!out.empty()) out += '/';
+    out += format_double(v, 0);
+  }
+  return out;
+}
+
+/// One row per policy: the §4.3 metrics plus the recovery accounting.
+void policy_rows(Table& table, const scenario::PolicyMetrics& metrics,
+                 const std::vector<PolicyMode>& policies) {
+  for (const auto mode : policies) {
+    const auto& m = metrics.at(mode);
+    table.add_row({elastic::to_string(mode), format_double(m.utilization, 3),
+                   format_double(m.total_time_s, 1),
+                   format_double(m.weighted_completion_s, 2),
+                   format_double(m.recovery_time_s, 2),
+                   format_double(m.lost_work_s, 2),
+                   format_double(m.goodput, 4),
+                   format_double(m.jobs_failed, 3)});
+  }
+}
+
+void run(bench::Reporter& rep, const Config& cfg) {
+  const int repeats = cfg.get_int("repeats", 20);
+  const auto seed = static_cast<unsigned>(cfg.get_int("seed", 2025));
+  const int threads = cfg.get_int("threads", 1);
+
+  // ---- panel a: fixed crash/eviction schedule, per policy ----
+  scenario::ScenarioSpec recovery =
+      scenario::ScenarioRegistry::instance().require("fault_recovery");
+  recovery.repeats = repeats;
+  recovery.seed = seed;
+  const auto recovery_metrics = scenario::compare_policies(recovery, threads);
+  Table& recovery_table = rep.add_table(
+      "fig_fault_a_recovery",
+      "Fault panel a: fixed crash/eviction schedule (" +
+          join_values_text(recovery.faults.crash_times) + " s crashes, " +
+          join_values_text(recovery.faults.evict_times) +
+          " s eviction, checkpoints every " +
+          format_double(recovery.faults.checkpoint_period_s, 0) + " s)",
+      {"policy", "utilization", "total_s", "completion_s", "recovery_s",
+       "lost_work_s", "goodput", "jobs_failed"});
+  policy_rows(recovery_table, recovery_metrics, recovery.policies);
+
+  // ---- panel b: MTBF sweep under a failure budget ----
+  scenario::ScenarioSpec churn =
+      scenario::ScenarioRegistry::instance().require("fault_churn");
+  churn.repeats = repeats;
+  churn.seed = seed;
+  const auto churn_points = scenario::run_sweep(churn, threads).points;
+  const std::vector<std::tuple<std::string, std::string,
+                               double elastic::RunMetrics::*>>
+      churn_metrics{
+          {"fig_fault_b1_utilization", "Fault panel b: cluster utilization",
+           &elastic::RunMetrics::utilization},
+          {"fig_fault_b2_completion",
+           "Fault panel b: weighted mean completion time (s)",
+           &elastic::RunMetrics::weighted_completion_s},
+          {"fig_fault_b3_goodput", "Fault panel b: mean per-job goodput",
+           &elastic::RunMetrics::goodput},
+          {"fig_fault_b4_jobs_failed",
+           "Fault panel b: jobs killed by the failure budget",
+           &elastic::RunMetrics::jobs_failed}};
+  for (const auto& [id, title, member] : churn_metrics) {
+    Table& table = rep.add_table(
+        id, title + " vs crash MTBF",
+        {"mtbf_s", "elastic", "moldable", "min_replicas", "max_replicas"});
+    for (const auto& pt : churn_points) {
+      table.add_row(
+          {format_double(pt.x, 0),
+           format_double(pt.metrics.at(PolicyMode::kElastic).*member, 4),
+           format_double(pt.metrics.at(PolicyMode::kMoldable).*member, 4),
+           format_double(pt.metrics.at(PolicyMode::kRigidMin).*member, 4),
+           format_double(pt.metrics.at(PolicyMode::kRigidMax).*member, 4)});
+    }
+  }
+
+  // ---- panel c: checkpoint-period tradeoff at fixed MTBF ----
+  scenario::ScenarioSpec period = churn;
+  period.name = "custom";
+  period.faults.crash_mtbf_s = 1200.0;
+  period.faults.checkpoint_period_s = 0.0;  // the axis supplies it per point
+  period.axis = scenario::SweepAxis::kCheckpointPeriod;
+  period.axis_values = {75, 150, 300, 600, 1200};
+  const auto period_points = scenario::run_sweep(period, threads).points;
+  Table& period_table = rep.add_table(
+      "fig_fault_c_checkpoint_period",
+      "Fault panel c: elastic policy vs checkpoint period at MTBF " +
+          format_double(period.faults.crash_mtbf_s, 0) + " s",
+      {"period_s", "utilization", "completion_s", "recovery_s", "lost_work_s",
+       "goodput"});
+  for (const auto& pt : period_points) {
+    const auto& m = pt.metrics.at(PolicyMode::kElastic);
+    period_table.add_row({format_double(pt.x, 0),
+                          format_double(m.utilization, 3),
+                          format_double(m.weighted_completion_s, 2),
+                          format_double(m.recovery_time_s, 2),
+                          format_double(m.lost_work_s, 2),
+                          format_double(m.goodput, 4)});
+  }
+
+  // ---- panel d: LB ablation under a crash chain (AMR workload) ----
+  scenario::ScenarioSpec ablation =
+      scenario::ScenarioRegistry::instance().require("fault_lb_ablation");
+  ablation.repeats = repeats;
+  ablation.seed = seed;
+  const auto ablation_points = scenario::run_sweep(ablation, threads).points;
+  Table& lb_table = rep.add_table(
+      "fig_fault_d_lb_ablation",
+      "Fault panel d: elastic policy per runtime LB strategy, crash MTBF " +
+          format_double(ablation.faults.crash_mtbf_s, 0) + " s",
+      {"strategy", "utilization", "completion_s", "recovery_s", "lost_work_s",
+       "goodput", "lb_post_ratio"});
+  for (const auto& pt : ablation_points) {
+    const auto& m = pt.metrics.at(PolicyMode::kElastic);
+    lb_table.add_row(
+        {charm::load_balancer_names().at(static_cast<std::size_t>(pt.x)),
+         format_double(m.utilization, 3),
+         format_double(m.weighted_completion_s, 2),
+         format_double(m.recovery_time_s, 2),
+         format_double(m.lost_work_s, 2), format_double(m.goodput, 4),
+         format_double(m.lb_post_ratio, 3)});
+  }
+
+  rep.note("(" + std::to_string(repeats) + " random mixes per point, seed " +
+           std::to_string(seed) +
+           "; fault plans are deterministic, so both substrates replay the "
+           "identical failure sequence)");
+}
+
+const bench::RegisterBench kReg{{
+    "fig_fault",
+    "Failure injection: recovery accounting, MTBF sweep, checkpoint-period "
+    "tradeoff, LB ablation under crashes",
+    {{"repeats", "20", "random job mixes per sweep point"},
+     {"seed", "2025", "base RNG seed"}},
+    {{"repeats", "5"}},
+    run}};
+
+}  // namespace

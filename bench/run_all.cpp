@@ -54,6 +54,16 @@ void report_sweep(bench::Reporter& rep, const scenario::ScenarioSpec& spec,
     metrics.emplace_back("lb_migrations_per_step",
                          &elastic::RunMetrics::lb_migrations_per_step);
   }
+  // Recovery accounting matters exactly when the plan injects failures (or
+  // the sweep axis does).
+  if (!spec.faults.empty() || spec.axis == scenario::SweepAxis::kFaultMtbf ||
+      spec.axis == scenario::SweepAxis::kCheckpointPeriod) {
+    metrics.emplace_back("recovery_time_s",
+                         &elastic::RunMetrics::recovery_time_s);
+    metrics.emplace_back("lost_work_s", &elastic::RunMetrics::lost_work_s);
+    metrics.emplace_back("goodput", &elastic::RunMetrics::goodput);
+    metrics.emplace_back("jobs_failed", &elastic::RunMetrics::jobs_failed);
+  }
 
   for (const auto& [id, member] : metrics) {
     std::vector<std::string> headers{x_label};

@@ -20,19 +20,23 @@ void MemCheckpoint::clear() {
   total_real_bytes_ = 0;
 }
 
-std::vector<double> MemCheckpoint::modeled_bytes_per_pe() const {
-  PeId max_pe = -1;
-  for (const auto& r : records_) max_pe = std::max(max_pe, r.pe);
-  std::vector<double> out(static_cast<std::size_t>(max_pe + 1), 0.0);
-  for (const auto& r : records_) out[static_cast<std::size_t>(r.pe)] += r.modeled_bytes;
+std::vector<double> MemCheckpoint::modeled_bytes_per_pe(int num_pes) const {
+  EHPC_EXPECTS(num_pes > 0);
+  std::vector<double> out(static_cast<std::size_t>(num_pes), 0.0);
+  for (const auto& r : records_) {
+    EHPC_EXPECTS(r.pe < num_pes);
+    out[static_cast<std::size_t>(r.pe)] += r.modeled_bytes;
+  }
   return out;
 }
 
-std::vector<std::size_t> MemCheckpoint::records_per_pe() const {
-  PeId max_pe = -1;
-  for (const auto& r : records_) max_pe = std::max(max_pe, r.pe);
-  std::vector<std::size_t> out(static_cast<std::size_t>(max_pe + 1), 0);
-  for (const auto& r : records_) out[static_cast<std::size_t>(r.pe)] += 1;
+std::vector<std::size_t> MemCheckpoint::records_per_pe(int num_pes) const {
+  EHPC_EXPECTS(num_pes > 0);
+  std::vector<std::size_t> out(static_cast<std::size_t>(num_pes), 0);
+  for (const auto& r : records_) {
+    EHPC_EXPECTS(r.pe < num_pes);
+    out[static_cast<std::size_t>(r.pe)] += 1;
+  }
   return out;
 }
 

@@ -38,11 +38,16 @@ class MemCheckpoint {
   std::size_t total_real_bytes() const { return total_real_bytes_; }
 
   /// Modeled bytes per PE under the mapping stored in the records
-  /// (index = PeId; sized to max PE + 1).
-  std::vector<double> modeled_bytes_per_pe() const;
+  /// (index = PeId; sized to exactly `num_pes`). Sizing by the caller's PE
+  /// count — not the max PE observed in records — keeps idle PEs in the
+  /// slowest-PE stage computation and makes an empty checkpoint yield
+  /// `num_pes` zero entries rather than an empty vector. Every record's PE
+  /// must be < `num_pes`.
+  std::vector<double> modeled_bytes_per_pe(int num_pes) const;
 
-  /// Element counts per PE under the stored mapping.
-  std::vector<std::size_t> records_per_pe() const;
+  /// Element counts per PE under the stored mapping; same sizing contract
+  /// as `modeled_bytes_per_pe`.
+  std::vector<std::size_t> records_per_pe(int num_pes) const;
 
  private:
   std::vector<ElementRecord> records_;

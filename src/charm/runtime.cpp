@@ -198,8 +198,17 @@ void Runtime::dispatch(EnvIndex env_idx, PeId from_pe, sim::Time send_time) {
         static_cast<double>(env.bytes) / config_.nic_bandwidth_Bps;
   }
   const double cost = config_.network.message_time(env.bytes, src_node, dst_node);
-  sim_.schedule_at(depart + cost,
-                   [this, dst, env_idx] { on_arrival(dst, env_idx); });
+  // Epoch guard: a message in flight when the PE set is torn down (a
+  // non-quiescent fail_and_recover) died with the sender's TCP connection;
+  // drop it instead of delivering stale pre-failure state to the restored
+  // element. Rescales run at quiescence, so this only fires on failures.
+  sim_.schedule_at(depart + cost, [this, dst, env_idx, epoch = pe_epoch_] {
+    if (epoch != pe_epoch_) {
+      release_env(env_idx);
+      return;
+    }
+    on_arrival(dst, env_idx);
+  });
 }
 
 void Runtime::on_arrival(PeId pe, EnvIndex env_idx) {
@@ -311,7 +320,10 @@ void Runtime::flush_contribute(const PendingContribute& c, sim::Time at) {
     const sim::Time done = red.latest_time + tree_latency(num_pes_);
     red = ReductionState{};  // ready for the next round
     const ArrayId array = c.array;
-    sim_.schedule_at(done, [this, array, result] {
+    // The epoch guard retires the client callback if a failure tears the
+    // PE set down first: the reduction result died with the tree.
+    sim_.schedule_at(done, [this, array, result, epoch = pe_epoch_] {
+      if (epoch != pe_epoch_) return;
       auto& client = array_state(array).client;
       if (client) client(result, *this);
     });
@@ -425,8 +437,8 @@ double Runtime::stage_checkpoint(MemCheckpoint& out) {
   // Each PE writes its objects to the local shared-memory segment in
   // parallel; the stage lasts as long as the slowest PE.
   double stage = 0.0;
-  const auto bytes = out.modeled_bytes_per_pe();
-  const auto counts = out.records_per_pe();
+  const auto bytes = out.modeled_bytes_per_pe(num_pes_);
+  const auto counts = out.records_per_pe(num_pes_);
   for (std::size_t pe = 0; pe < bytes.size(); ++pe) {
     const double t = bytes[pe] / config_.shm_bandwidth_Bps +
                      static_cast<double>(counts[pe]) * config_.checkpoint_per_obj_s;
@@ -528,11 +540,16 @@ void Runtime::execute_rescale(CcsCommand cmd) {
             timing.restart_s, timing.restore_s);
 
   const sim::Time resume_at = sim_.now() + timing.total();
-  sim_.schedule_at(resume_at,
-                   [this, ack = std::move(cmd.on_complete), timing] {
-                     if (restart_handler_) restart_handler_(*this);
-                     if (ack) ack(timing);
-                   });
+  // Epoch guard: a failure landing inside the rescale's downtime window
+  // tears the new PE set down again before this resume fires. The stale
+  // resume (and its CCS ack) must retire — recovery schedules its own
+  // restart, and running both would re-kick the application twice.
+  sim_.schedule_at(resume_at, [this, ack = std::move(cmd.on_complete), timing,
+                               epoch = pe_epoch_] {
+    if (epoch != pe_epoch_) return;
+    if (restart_handler_) restart_handler_(*this);
+    if (ack) ack(timing);
+  });
 }
 
 void Runtime::load_balance_then(ExternalEvent continuation) {
@@ -579,8 +596,8 @@ void Runtime::disk_checkpoint_then(ExternalEvent continuation) {
   // PEs stream their objects to disk in parallel; slowest PE bounds the
   // stage, like the shared-memory checkpoint but at disk bandwidth.
   double stage = 0.0;
-  const auto bytes = disk_checkpoint_.modeled_bytes_per_pe();
-  const auto counts = disk_checkpoint_.records_per_pe();
+  const auto bytes = disk_checkpoint_.modeled_bytes_per_pe(num_pes_);
+  const auto counts = disk_checkpoint_.records_per_pe(num_pes_);
   for (std::size_t pe = 0; pe < bytes.size(); ++pe) {
     stage = std::max(stage, bytes[pe] / config_.disk_bandwidth_Bps +
                                 static_cast<double>(counts[pe]) *
@@ -591,9 +608,12 @@ void Runtime::disk_checkpoint_then(ExternalEvent continuation) {
   sim_.schedule_after(stage, [this, fn = std::move(continuation)] { fn(*this); });
 }
 
-void Runtime::fail_and_recover() {
+void Runtime::fail_and_recover() { fail_and_recover(disk_checkpoint_pes_); }
+
+void Runtime::fail_and_recover(int surviving_pes) {
   EHPC_EXPECTS(!in_handler_);
   EHPC_EXPECTS(has_disk_checkpoint());
+  EHPC_EXPECTS(surviving_pes > 0);
   ++recoveries_;
   // Volatile state dies with the node; queues are rebuilt empty.
   for (auto& arr : arrays_) {
@@ -601,38 +621,75 @@ void Runtime::fail_and_recover() {
     arr.reduction = ReductionState{};
     std::fill(arr.load_s.begin(), arr.load_s.end(), 0.0);
   }
-  reset_pes(disk_checkpoint_pes_);
-  num_pes_ = disk_checkpoint_pes_;
+  reset_pes(surviving_pes);
+  num_pes_ = surviving_pes;
   rebuild_node_table();
   std::fill(node_egress_busy_.begin(), node_egress_busy_.end(), 0.0);
 
-  // Restore elements and their checkpoint-time placement.
-  double read_stage = 0.0;
-  const auto bytes = disk_checkpoint_.modeled_bytes_per_pe();
-  const auto counts = disk_checkpoint_.records_per_pe();
-  for (std::size_t pe = 0; pe < bytes.size(); ++pe) {
-    read_stage = std::max(read_stage, bytes[pe] / config_.disk_bandwidth_Bps +
-                                          static_cast<double>(counts[pe]) *
-                                              config_.checkpoint_per_obj_s);
-  }
+  // Restore elements. The checkpoint-time placement is only a *proposal*:
+  // a checkpoint-time PE that no longer exists (node loss, or recovery onto
+  // fewer PEs than the checkpoint was taken on) must not leak into the
+  // location manager, so the placement goes through the LB seam, which
+  // evicts illegal placements and keeps legal ones unless rebalancing wins.
+  std::vector<LbObject> objects;
+  objects.reserve(disk_checkpoint_.size());
   for (const auto& rec : disk_checkpoint_.records()) {
     auto& arr = array_state(rec.array);
     auto elem = arr.factory(rec.elem);
     Pup unpacker = Pup::unpacker(rec.payload);
     elem->pup(unpacker);
     arr.elements[static_cast<std::size_t>(rec.elem)] = std::move(elem);
-    loc_.set_pe(rec.array, rec.elem, rec.pe);
+    LbObject obj;
+    obj.array = rec.array;
+    obj.elem = rec.elem;
+    // No measured compute load survives the failure; the checkpoint
+    // footprint is the balance proxy (restore cost ∝ bytes).
+    obj.load = rec.modeled_bytes;
+    obj.bytes = rec.payload.size();
+    obj.current_pe = rec.pe;
+    objects.push_back(obj);
+  }
+  if (!objects.empty()) {
+    std::vector<PeId> survivors(static_cast<std::size_t>(num_pes_));
+    std::iota(survivors.begin(), survivors.end(), 0);
+    LbStepStats stats;
+    const LbAssignment assignment =
+        run_strategy(*lb_, objects, survivors, &stats);
+    lb_history_.push_back(stats);
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      EHPC_ENSURES(assignment[i] >= 0 && assignment[i] < num_pes_);
+      loc_.set_pe(objects[i].array, objects[i].elem, assignment[i]);
+    }
   }
   if (app_state_pup_ && !disk_app_state_.empty()) {
     Pup unpacker = Pup::unpacker(disk_app_state_);
     app_state_pup_(unpacker);
+  }
+
+  // Each surviving PE reads its share of the checkpoint from disk; the
+  // slowest PE bounds the stage, computed over the recovery placement.
+  double read_stage = 0.0;
+  std::vector<double> bytes(static_cast<std::size_t>(num_pes_), 0.0);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_pes_), 0);
+  for (const auto& rec : disk_checkpoint_.records()) {
+    const PeId pe = loc_.pe_of(rec.array, rec.elem);
+    bytes[static_cast<std::size_t>(pe)] += rec.modeled_bytes;
+    counts[static_cast<std::size_t>(pe)] += 1;
+  }
+  for (std::size_t pe = 0; pe < bytes.size(); ++pe) {
+    read_stage = std::max(read_stage, bytes[pe] / config_.disk_bandwidth_Bps +
+                                          static_cast<double>(counts[pe]) *
+                                              config_.checkpoint_per_obj_s);
   }
   const double downtime = config_.failure_detection_s +
                           config_.startup_alpha_s +
                           config_.startup_per_pe_s * num_pes_ + read_stage;
   EHPC_WARN("charm", "node failure: recovering from disk checkpoint (%.2fs downtime)",
             downtime);
-  sim_.schedule_after(downtime, [this] {
+  // Epoch guard: a second failure before this restart fires supersedes it;
+  // running both would re-kick the application twice.
+  sim_.schedule_after(downtime, [this, epoch = pe_epoch_] {
+    if (epoch != pe_epoch_) return;
     if (restart_handler_) restart_handler_(*this);
   });
 }

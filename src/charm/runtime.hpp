@@ -191,12 +191,23 @@ class Runtime {
   /// survives node failures.
   void disk_checkpoint_then(ExternalEvent continuation);
 
-  /// Simulate a node failure at a quiescent point: all volatile state is
-  /// lost; the runtime restarts from the last disk checkpoint (same PE
-  /// count and element mapping as at checkpoint time), charges detection +
-  /// restart + disk-read time, restores the app state, and invokes the
-  /// restart handler. Throws PreconditionError without a prior checkpoint.
+  /// Simulate a node failure: all volatile state (elements, queues,
+  /// in-flight messages, reduction rounds) is lost; the runtime restarts
+  /// from the last disk checkpoint with the checkpoint-time PE count,
+  /// charges detection + restart + disk-read time, restores the app state,
+  /// and invokes the restart handler. Unlike rescales this does not require
+  /// quiescence — events belonging to the dead configuration are retired by
+  /// the PE epoch guard. Throws PreconditionError without a prior
+  /// checkpoint. Not callable from inside an entry method (a dead node
+  /// cannot run handlers); inject from a reduction client or a scheduled
+  /// external event instead.
   void fail_and_recover();
+
+  /// Node-loss variant: restart on `surviving_pes` PEs (the checkpoint-time
+  /// count minus the lost node's PEs). Elements whose checkpoint-time PE no
+  /// longer exists are re-placed via the configured LB strategy instead of
+  /// restoring an out-of-range placement.
+  void fail_and_recover(int surviving_pes);
 
   bool has_disk_checkpoint() const { return !disk_checkpoint_.empty(); }
   int disk_checkpoints_taken() const { return disk_checkpoints_taken_; }

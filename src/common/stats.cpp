@@ -75,7 +75,7 @@ double percentile(std::vector<double> samples, double q) {
 }
 
 double mean_of(const std::vector<double>& samples) {
-  if (samples.empty()) return 0.0;
+  EHPC_EXPECTS(!samples.empty());
   double sum = 0.0;
   for (double s : samples) sum += s;
   return sum / static_cast<double>(samples.size());

@@ -51,7 +51,10 @@ class WeightedMean {
 /// statistics. `q` is in [0, 1]. The input is copied and sorted.
 double percentile(std::vector<double> samples, double q);
 
-/// Mean of a sample vector (0 for empty input).
+/// Mean of a sample vector. Like `percentile`, an empty input is a
+/// precondition violation: callers that can legitimately see empty sample
+/// sets must handle that case explicitly rather than silently folding a
+/// spurious 0 into downstream aggregates.
 double mean_of(const std::vector<double>& samples);
 
 /// Time-weighted average of a step function given as (timestamp, value)

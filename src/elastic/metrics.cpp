@@ -29,6 +29,10 @@ void MetricsCollector::record_lb_step(double post_ratio, double migrations) {
   lb_steps_.emplace_back(post_ratio, migrations);
 }
 
+void MetricsCollector::record_crash() { ++crashes_; }
+
+void MetricsCollector::record_eviction() { ++evictions_; }
+
 RunMetrics MetricsCollector::compute() const {
   EHPC_EXPECTS(!jobs_.empty());
   RunMetrics m;
@@ -75,6 +79,23 @@ RunMetrics MetricsCollector::compute() const {
     m.lb_migrations_per_step = migration_sum / n;
     m.lb_steps = n;
   }
+
+  m.failures = static_cast<double>(crashes_);
+  m.evictions = static_cast<double>(evictions_);
+  std::vector<double> recovery;
+  std::vector<double> lost;
+  std::vector<double> goodput;
+  for (const auto& j : jobs_) {
+    if (j.failed) m.jobs_failed += 1.0;
+    recovery.push_back(j.recovery_s);
+    lost.push_back(j.lost_work_s);
+    goodput.push_back(j.goodput());
+  }
+  // jobs_ is non-empty (checked above); mean_of throws on empty input, and
+  // keeping these vectors unconditional keeps that contract visible here.
+  m.recovery_time_s = mean_of(recovery);
+  m.lost_work_s = mean_of(lost);
+  m.goodput = mean_of(goodput);
   return m;
 }
 
@@ -82,6 +103,7 @@ RunMetrics average_metrics(const std::vector<RunMetrics>& runs) {
   EHPC_EXPECTS(!runs.empty());
   RunMetrics avg;
   avg.lb_post_ratio = 0.0;
+  avg.goodput = 0.0;
   for (const auto& r : runs) {
     avg.total_time_s += r.total_time_s;
     avg.utilization += r.utilization;
@@ -90,6 +112,12 @@ RunMetrics average_metrics(const std::vector<RunMetrics>& runs) {
     avg.lb_post_ratio += r.lb_post_ratio;
     avg.lb_migrations_per_step += r.lb_migrations_per_step;
     avg.lb_steps += r.lb_steps;
+    avg.failures += r.failures;
+    avg.evictions += r.evictions;
+    avg.jobs_failed += r.jobs_failed;
+    avg.recovery_time_s += r.recovery_time_s;
+    avg.lost_work_s += r.lost_work_s;
+    avg.goodput += r.goodput;
   }
   const double n = static_cast<double>(runs.size());
   avg.total_time_s /= n;
@@ -99,6 +127,12 @@ RunMetrics average_metrics(const std::vector<RunMetrics>& runs) {
   avg.lb_post_ratio /= n;
   avg.lb_migrations_per_step /= n;
   avg.lb_steps /= n;
+  avg.failures /= n;
+  avg.evictions /= n;
+  avg.jobs_failed /= n;
+  avg.recovery_time_s /= n;
+  avg.lost_work_s /= n;
+  avg.goodput /= n;
   return avg;
 }
 

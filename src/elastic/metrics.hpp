@@ -6,16 +6,34 @@
 
 namespace ehpc::elastic {
 
-/// Lifecycle timestamps of one finished job.
+/// Lifecycle timestamps of one finished job, plus its fault history.
 struct JobRecord {
   JobId id = 0;
   int priority = 1;
   double submit_time = 0.0;
   double start_time = 0.0;
   double complete_time = 0.0;
+  /// Killed by the failure budget (complete_time is the kill time, not a
+  /// successful completion).
+  bool failed = false;
+  /// Progress rolled back to the last checkpoint across all failures.
+  double lost_work_s = 0.0;
+  /// Downtime spent on fault tolerance: writing periodic checkpoints plus
+  /// detecting failures, restarting and restoring state after them.
+  double recovery_s = 0.0;
 
   double response_time() const { return start_time - submit_time; }
   double completion_time() const { return complete_time - submit_time; }
+
+  /// Fraction of the job's wall-clock span spent making forward progress
+  /// (1 = no failures; 0 for a job killed by the failure budget).
+  double goodput() const {
+    if (failed) return 0.0;
+    const double span = complete_time - start_time;
+    if (span <= 0.0) return 1.0;
+    const double useful = span - lost_work_s - recovery_s;
+    return useful > 0.0 ? useful / span : 0.0;
+  }
 };
 
 /// The four metrics of paper §4.3, computed over one experiment run, plus
@@ -31,6 +49,16 @@ struct RunMetrics {
   double lb_post_ratio = 1.0;
   double lb_migrations_per_step = 0.0;
   double lb_steps = 0.0;            ///< LB steps observed (mean when averaged)
+  /// Fault-injection outcomes (all 0/1-neutral defaults when no faults ran):
+  /// injected event counts, jobs killed by the failure budget, mean per-job
+  /// recovery downtime and rolled-back work, and the mean per-job goodput
+  /// fraction (1.0 = every job spent its whole span progressing).
+  double failures = 0.0;            ///< node crashes injected
+  double evictions = 0.0;           ///< pod evictions injected
+  double jobs_failed = 0.0;         ///< jobs killed by the failure budget
+  double recovery_time_s = 0.0;     ///< mean per-job recovery downtime
+  double lost_work_s = 0.0;         ///< mean per-job rolled-back work
+  double goodput = 1.0;             ///< mean per-job useful-time fraction
 };
 
 /// Accumulates job records and a used-slots step trace, then computes the
@@ -50,6 +78,10 @@ class MetricsCollector {
   /// achieved and the object migrations it needed.
   void record_lb_step(double post_ratio, double migrations);
 
+  /// Count one injected node crash / pod eviction.
+  void record_crash();
+  void record_eviction();
+
   RunMetrics compute() const;
 
   const std::vector<JobRecord>& jobs() const { return jobs_; }
@@ -62,6 +94,8 @@ class MetricsCollector {
   std::vector<JobRecord> jobs_;
   std::vector<std::pair<double, double>> usage_;  // (time, used slots)
   std::vector<std::pair<double, double>> lb_steps_;  // (post ratio, migrations)
+  int crashes_ = 0;
+  int evictions_ = 0;
 };
 
 /// Average each metric over several runs (the paper reports means over 100

@@ -208,6 +208,7 @@ ClusterExperiment::ClusterExperiment(
   controller_ = std::make_unique<CharmJobController>(cluster_, jobs_,
                                                      config_.controller);
   harness_ = std::make_unique<Harness>(*this);
+  harness_->set_fault_plan(config_.faults);
 
   // Physical utilization trace: every pod transition updates the profile.
   cluster_.pods().watch([this](k8s::WatchEvent, const k8s::Pod&) {

@@ -22,6 +22,9 @@ struct ExperimentConfig {
   double signal_latency_s = 0.1;
   k8s::ClusterConfig cluster;
   ControllerConfig controller;
+  /// Failure-injection plan, executed by the shared harness so the cluster
+  /// substrate sees the exact fault sequence the simulator sees.
+  schedsim::FaultPlan faults;
 };
 
 /// The paper's §4.3.2 experimental run, on the Kubernetes substrate instead

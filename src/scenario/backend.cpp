@@ -11,7 +11,9 @@ namespace ehpc::scenario {
 SchedSimBackend::SchedSimBackend(
     const ScenarioSpec& spec, elastic::PolicyConfig policy,
     std::map<elastic::JobClass, elastic::Workload> workloads)
-    : simulator_(spec.total_slots(), policy, std::move(workloads)) {}
+    : simulator_(spec.total_slots(), policy, std::move(workloads)) {
+  simulator_.set_fault_plan(spec.faults);
+}
 
 schedsim::SimResult SchedSimBackend::run(
     const std::vector<schedsim::SubmittedJob>& mix) {
@@ -29,6 +31,7 @@ schedsim::SimResult ClusterBackend::run(
   config.nodes = spec_.nodes;
   config.cpus_per_node = spec_.cpus_per_node;
   config.policy = policy_;
+  config.faults = spec_.faults;
   opk::ClusterExperiment experiment(config, workloads_);
   return experiment.run(mix);
 }

@@ -145,6 +145,46 @@ ScenarioRegistry::ScenarioRegistry() {
   amr_lb.policies = {PolicyMode::kElastic};
   amr_lb.repeats = 20;
   add(amr_lb);
+
+  // Fault-injection scenarios (ROADMAP "Fault tolerance"): deterministic
+  // crash/eviction plans executed by the shared harness, so both substrates
+  // replay the identical failure sequence.
+  ScenarioSpec fault_recovery;
+  fault_recovery.name = "fault_recovery";
+  fault_recovery.description =
+      "All four policies under a fixed crash/eviction schedule with periodic "
+      "disk checkpoints: recovery time, lost work and goodput per policy";
+  fault_recovery.faults.crash_times = {400.0, 1100.0};
+  fault_recovery.faults.evict_times = {700.0};
+  fault_recovery.faults.checkpoint_period_s = 300.0;
+  fault_recovery.repeats = 20;
+  add(fault_recovery);
+
+  ScenarioSpec fault_churn;
+  fault_churn.name = "fault_churn";
+  fault_churn.description =
+      "Scheduler metrics vs crash MTBF under a fixed checkpoint cadence and "
+      "a prun-style per-job failure budget";
+  fault_churn.faults.checkpoint_period_s = 300.0;
+  fault_churn.faults.max_failed_nodes = 2;
+  fault_churn.axis = SweepAxis::kFaultMtbf;
+  fault_churn.axis_values = {600, 1200, 2400, 4800};
+  fault_churn.repeats = 20;
+  add(fault_churn);
+
+  ScenarioSpec fault_lb;
+  fault_lb.name = "fault_lb_ablation";
+  fault_lb.description =
+      "Load-balancer ablation on the AMR workload under a crash chain: how "
+      "much recovery re-placement quality matters when nodes keep failing";
+  fault_lb.app = "amr";
+  fault_lb.faults.crash_mtbf_s = 900.0;
+  fault_lb.faults.checkpoint_period_s = 300.0;
+  fault_lb.axis = SweepAxis::kLbStrategy;
+  fault_lb.axis_values = {0, 1, 2};
+  fault_lb.policies = {PolicyMode::kElastic};
+  fault_lb.repeats = 20;
+  add(fault_lb);
 }
 
 std::vector<std::string> scenario_config_keys() {

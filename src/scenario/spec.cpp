@@ -35,6 +35,8 @@ std::string to_string(SweepAxis a) {
     case SweepAxis::kRescaleGap: return "rescale_gap";
     case SweepAxis::kRefineRate: return "refine_rate";
     case SweepAxis::kLbStrategy: return "lb_strategy";
+    case SweepAxis::kFaultMtbf: return "fault_mtbf";
+    case SweepAxis::kCheckpointPeriod: return "checkpoint_period";
   }
   return "?";
 }
@@ -45,9 +47,12 @@ SweepAxis sweep_axis_from_string(const std::string& name) {
   if (name == "rescale_gap") return SweepAxis::kRescaleGap;
   if (name == "refine_rate") return SweepAxis::kRefineRate;
   if (name == "lb_strategy") return SweepAxis::kLbStrategy;
+  if (name == "fault_mtbf") return SweepAxis::kFaultMtbf;
+  if (name == "checkpoint_period") return SweepAxis::kCheckpointPeriod;
   throw ConfigError(
       "unknown sweep axis '" + name +
-      "'; known: none submission_gap rescale_gap refine_rate lb_strategy");
+      "'; known: none submission_gap rescale_gap refine_rate lb_strategy "
+      "fault_mtbf checkpoint_period");
 }
 
 bool axis_affects_workloads(SweepAxis a) {
@@ -166,6 +171,18 @@ void ScenarioSpec::validate() const {
   if (axis == SweepAxis::kRefineRate || axis == SweepAxis::kLbStrategy) {
     if (app != "amr") fail("axis '" + to_string(axis) + "' requires app=amr");
   }
+  if (axis == SweepAxis::kFaultMtbf || axis == SweepAxis::kCheckpointPeriod) {
+    for (const double v : axis_values) {
+      if (v <= 0.0) {
+        fail("axis '" + to_string(axis) + "' sweep values must be positive");
+      }
+    }
+  }
+  try {
+    faults.validate();
+  } catch (const std::exception& e) {
+    fail(std::string("bad fault plan: ") + e.what());
+  }
 }
 
 const std::vector<std::string>& spec_config_keys() {
@@ -173,6 +190,9 @@ const std::vector<std::string>& spec_config_keys() {
       "substrate",      "nodes",      "cpus_per_node", "num_jobs",
       "submission_gap", "rescale_gap", "calibrated",   "policies",
       "app",            "refine_rate", "lb_strategy",
+      "fault_times",    "fault_mtbf", "evict_times",   "straggler_at",
+      "straggler_factor", "checkpoint_period", "fault_detection",
+      "max_failed_nodes",
       "sweep_axis",     "sweep_values", "repeats",     "seed"};
   return kKeys;
 }
@@ -191,8 +211,17 @@ std::string spec_config_help() {
       "  app=jacobi              jacobi | amr (irregular adaptive mesh)\n"
       "  refine_rate=0.12        AMR refinement-event rate per patch/iter\n"
       "  lb_strategy=greedy      runtime LB: null | greedy | refine\n"
+      "  fault_times=            comma list of node-crash virtual times (s)\n"
+      "  fault_mtbf=0            deterministic crash chain period (s); 0 off\n"
+      "  evict_times=            comma list of pod-eviction virtual times (s)\n"
+      "  straggler_at=-1         time a straggler PE appears (s); <0 off\n"
+      "  straggler_factor=1      step-time multiplier of the straggler job\n"
+      "  checkpoint_period=0     disk checkpoint cadence (s); 0 = none\n"
+      "  fault_detection=5       crash detection delay before recovery (s)\n"
+      "  max_failed_nodes=-1     per-job crash budget (prun); <0 unlimited\n"
       "  sweep_axis=none         none | submission_gap | rescale_gap |\n"
-      "                          refine_rate | lb_strategy\n"
+      "                          refine_rate | lb_strategy | fault_mtbf |\n"
+      "                          checkpoint_period\n"
       "  sweep_values=...        comma list of swept parameter values\n"
       "  repeats=100             random mixes averaged per point\n"
       "  seed=2025               base RNG seed (repeat r uses seed + r)\n";
@@ -210,6 +239,20 @@ ScenarioSpec spec_from_config(const Config& cfg, ScenarioSpec base) {
   if (auto v = cfg.get("app")) spec.app = *v;
   spec.refine_rate = cfg.get_double("refine_rate", spec.refine_rate);
   if (auto v = cfg.get("lb_strategy")) spec.lb_strategy = *v;
+  if (auto v = cfg.get("fault_times")) spec.faults.crash_times = parse_values(*v);
+  spec.faults.crash_mtbf_s =
+      cfg.get_double("fault_mtbf", spec.faults.crash_mtbf_s);
+  if (auto v = cfg.get("evict_times")) spec.faults.evict_times = parse_values(*v);
+  spec.faults.straggler_at_s =
+      cfg.get_double("straggler_at", spec.faults.straggler_at_s);
+  spec.faults.straggler_factor =
+      cfg.get_double("straggler_factor", spec.faults.straggler_factor);
+  spec.faults.checkpoint_period_s =
+      cfg.get_double("checkpoint_period", spec.faults.checkpoint_period_s);
+  spec.faults.detection_s =
+      cfg.get_double("fault_detection", spec.faults.detection_s);
+  spec.faults.max_failed_nodes =
+      cfg.get_int("max_failed_nodes", spec.faults.max_failed_nodes);
   if (auto v = cfg.get("policies")) spec.policies = parse_policies(*v);
   if (auto v = cfg.get("sweep_axis")) spec.axis = sweep_axis_from_string(*v);
   if (auto v = cfg.get("sweep_values")) spec.axis_values = parse_values(*v);
@@ -232,6 +275,30 @@ std::string describe(const ScenarioSpec& spec) {
   if (spec.app == "amr") {
     out += " refine_rate=" + format_double(spec.refine_rate, 3);
     out += " lb_strategy=" + spec.lb_strategy;
+  }
+  if (!spec.faults.empty()) {
+    if (!spec.faults.crash_times.empty()) {
+      out += " fault_times=" + join_values(spec.faults.crash_times);
+    }
+    if (spec.faults.crash_mtbf_s > 0.0) {
+      out += " fault_mtbf=" + format_double(spec.faults.crash_mtbf_s, 0);
+    }
+    if (!spec.faults.evict_times.empty()) {
+      out += " evict_times=" + join_values(spec.faults.evict_times);
+    }
+    if (spec.faults.straggler_at_s >= 0.0) {
+      out += " straggler_at=" + format_double(spec.faults.straggler_at_s, 0);
+      out += " straggler_factor=" +
+             format_double(spec.faults.straggler_factor, 2);
+    }
+    if (spec.faults.checkpoint_period_s > 0.0) {
+      out += " checkpoint_period=" +
+             format_double(spec.faults.checkpoint_period_s, 0);
+    }
+    if (spec.faults.max_failed_nodes >= 0) {
+      out += " max_failed_nodes=" +
+             std::to_string(spec.faults.max_failed_nodes);
+    }
   }
   out += " policies=" + join_policies(spec.policies);
   out += " sweep_axis=" + to_string(spec.axis);

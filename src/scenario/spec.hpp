@@ -5,6 +5,7 @@
 
 #include "common/config.hpp"
 #include "elastic/policy.hpp"
+#include "schedsim/fault.hpp"
 
 namespace ehpc::scenario {
 
@@ -17,15 +18,26 @@ std::string to_string(Substrate s);
 /// Parse "schedsim" / "cluster"; throws ConfigError on anything else.
 Substrate substrate_from_string(const std::string& name);
 
-/// The parameter an experiment sweeps, one point per value. The last two
-/// re-calibrate the workload models per point: kRefineRate sweeps the AMR
-/// refinement-event rate, kLbStrategy sweeps the runtime load balancer
-/// (values index `charm::load_balancer_names()`).
-enum class SweepAxis { kNone, kSubmissionGap, kRescaleGap, kRefineRate, kLbStrategy };
+/// The parameter an experiment sweeps, one point per value. kRefineRate and
+/// kLbStrategy re-calibrate the workload models per point: kRefineRate
+/// sweeps the AMR refinement-event rate, kLbStrategy sweeps the runtime
+/// load balancer (values index `charm::load_balancer_names()`).
+/// kFaultMtbf and kCheckpointPeriod sweep the failure plan (crash MTBF and
+/// checkpoint cadence in seconds); they change injection, not calibration.
+enum class SweepAxis {
+  kNone,
+  kSubmissionGap,
+  kRescaleGap,
+  kRefineRate,
+  kLbStrategy,
+  kFaultMtbf,
+  kCheckpointPeriod,
+};
 
 std::string to_string(SweepAxis a);
 /// Parse "none" / "submission_gap" / "rescale_gap" / "refine_rate" /
-/// "lb_strategy"; throws ConfigError on anything else.
+/// "lb_strategy" / "fault_mtbf" / "checkpoint_period"; throws ConfigError
+/// on anything else.
 SweepAxis sweep_axis_from_string(const std::string& name);
 
 /// True for axes whose value changes the workload calibration itself (the
@@ -68,6 +80,11 @@ struct ScenarioSpec {
   std::vector<elastic::PolicyMode> policies{
       elastic::PolicyMode::kRigidMin, elastic::PolicyMode::kRigidMax,
       elastic::PolicyMode::kMoldable, elastic::PolicyMode::kElastic};
+
+  // Failure injection (executed by the shared harness, so both substrates
+  // see the identical fault sequence). Empty by default: no faults, no
+  // checkpointing, behaviour identical to a spec without the field.
+  schedsim::FaultPlan faults;
 
   // Sweep: one point per `axis_values` entry, overriding the swept
   // parameter; kNone runs a single point at the spec's own values.

@@ -80,6 +80,12 @@ ScenarioSpec at_axis_value(const ScenarioSpec& spec, double value) {
       point.lb_strategy =
           charm::load_balancer_names().at(static_cast<std::size_t>(value));
       break;
+    case SweepAxis::kFaultMtbf:
+      point.faults.crash_mtbf_s = value;
+      break;
+    case SweepAxis::kCheckpointPeriod:
+      point.faults.checkpoint_period_s = value;
+      break;
   }
   return point;
 }

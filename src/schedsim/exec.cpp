@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace ehpc::schedsim {
 
@@ -60,6 +61,7 @@ SimResult ExecHarness::run(const std::vector<SubmittedJob>& mix) {
     JobExec exec;
     exec.workload = it->second;
     exec.remaining_steps = exec.workload.total_steps;
+    exec.ckpt_remaining_steps = exec.workload.total_steps;
     exec.record.id = job.spec.id;
     exec.record.priority = job.spec.priority;
     exec.record.submit_time = job.submit_time;
@@ -67,11 +69,12 @@ SimResult ExecHarness::run(const std::vector<SubmittedJob>& mix) {
     execs_.emplace(job.spec.id, std::move(exec));
     sim_.schedule_at(job.submit_time, [this, job] { submit(job); });
   }
+  schedule_faults();
   sim_.run();
 
   SimResult result;
   for (auto& [id, exec] : execs_) {
-    EHPC_ENSURES(exec.done);  // every job must finish
+    EHPC_ENSURES(exec.done);  // every job must finish (or be failed)
     collector_->add_job(exec.record);
     result.jobs.push_back(exec.record);
   }
@@ -107,7 +110,12 @@ void ExecHarness::apply_actions(const std::vector<Action>& actions) {
 
 void ExecHarness::note_rescale(elastic::JobId id) {
   ++rescale_count_;
-  const auto& lb = execs_.at(id).workload.lb;
+  JobExec& exec = execs_.at(id);
+  // A rescale restarts the job's processes, replacing any straggler PE.
+  // Substrates call note_rescale after accruing progress at the old (slow)
+  // rate, so clearing here takes effect exactly at the rescale boundary.
+  exec.slowdown = 1.0;
+  const auto& lb = exec.workload.lb;
   collector_->record_lb_step(lb.post_ratio, lb.migrations_per_step);
 }
 
@@ -122,11 +130,22 @@ void ExecHarness::schedule_completion(JobId id) {
 }
 
 void ExecHarness::complete_job(JobId id) {
+  // Invoked by the (already firing) completion event; forget it before the
+  // shared tail so finish_job does not cancel a spent event id.
+  execs_.at(id).completion_event = sim::kInvalidEvent;
+  execs_.at(id).remaining_steps = 0.0;
+  finish_job(id, /*failed=*/false);
+}
+
+void ExecHarness::finish_job(JobId id, bool failed) {
   JobExec& exec = execs_.at(id);
   EHPC_ENSURES(!exec.done);
+  if (exec.completion_event != sim::kInvalidEvent) {
+    sim_.cancel(exec.completion_event);
+    exec.completion_event = sim::kInvalidEvent;
+  }
   exec.done = true;
-  exec.remaining_steps = 0.0;
-  exec.completion_event = sim::kInvalidEvent;
+  exec.record.failed = failed;
   exec.record.complete_time = sim_.now();
   record_replicas(id, 0);
   on_job_completed(exec);
@@ -145,6 +164,151 @@ void ExecHarness::record_engine_usage() {
   collector_->record_usage(sim_.now(), used);
   trace_.record("util", sim_.now(),
                 static_cast<double>(used) / static_cast<double>(total_slots_));
+}
+
+// ---- fault injection ----
+
+void ExecHarness::set_fault_plan(FaultPlan plan) {
+  EHPC_EXPECTS(!used_);  // install before run()
+  plan.validate();
+  fault_plan_ = std::move(plan);
+}
+
+void ExecHarness::schedule_faults() {
+  const FaultPlan& plan = fault_plan_;
+  if (plan.empty()) return;
+  for (double t : plan.crash_times) {
+    sim_.schedule_at(t, [this] { inject_crash(); });
+  }
+  for (double t : plan.evict_times) {
+    sim_.schedule_at(t, [this] { inject_evict(); });
+  }
+  if (plan.straggler_at_s >= 0.0) {
+    sim_.schedule_at(plan.straggler_at_s, [this] { inject_straggler(); });
+  }
+  if (plan.crash_mtbf_s > 0.0) {
+    sim_.schedule_at(plan.crash_mtbf_s, [this] { crash_chain(); });
+  }
+  if (plan.checkpoint_period_s > 0.0) {
+    sim_.schedule_at(plan.checkpoint_period_s, [this] { checkpoint_tick(); });
+  }
+}
+
+JobExec* ExecHarness::pick_victim() {
+  // Deterministic: widest running job, ties broken by lowest id (execs_ is
+  // an ordered map, so iteration order is the id order).
+  JobExec* victim = nullptr;
+  for (auto& [id, exec] : execs_) {
+    if (!exec.started || exec.done) continue;
+    if (victim == nullptr || exec.replicas > victim->replicas) victim = &exec;
+  }
+  return victim;
+}
+
+bool ExecHarness::any_job_unfinished() const {
+  for (const auto& [id, exec] : execs_) {
+    if (!exec.done) return true;
+  }
+  return false;
+}
+
+void ExecHarness::inject_crash() {
+  JobExec* victim = pick_victim();
+  if (victim == nullptr) return;
+  collector_->record_crash();
+  apply_fault(*victim, /*is_crash=*/true);
+}
+
+void ExecHarness::crash_chain() {
+  // Deterministic MTBF chain: one crash per period, re-armed only while
+  // work remains so the chain terminates with the run instead of needing
+  // an end-time estimate up front.
+  inject_crash();
+  if (any_job_unfinished()) {
+    sim_.schedule_at(sim_.now() + fault_plan_.crash_mtbf_s,
+                     [this] { crash_chain(); });
+  }
+}
+
+void ExecHarness::inject_evict() {
+  JobExec* victim = pick_victim();
+  if (victim == nullptr) return;
+  collector_->record_eviction();
+  apply_fault(*victim, /*is_crash=*/false);
+}
+
+void ExecHarness::apply_fault(JobExec& exec, bool is_crash) {
+  const JobId id = exec.record.id;
+  const double now = sim_.now();
+  // Fold in progress at the pre-failure rate, then roll back to the last
+  // checkpoint. For a job paused by an in-flight rescale the pause stacks,
+  // exactly like a second rescale would.
+  exec.accrue_until(now);
+  const double lost_steps = exec.ckpt_remaining_steps - exec.remaining_steps;
+  EHPC_ENSURES(lost_steps >= 0.0);
+  exec.record.lost_work_s += lost_steps * exec.step_time();
+  exec.remaining_steps = exec.ckpt_remaining_steps;
+
+  if (is_crash) {
+    ++exec.failed_nodes;
+    if (fault_plan_.max_failed_nodes >= 0 &&
+        exec.failed_nodes > fault_plan_.max_failed_nodes) {
+      // prun-style failure budget exhausted: the job is failed for good;
+      // its slots go back to the scheduler.
+      EHPC_INFO("schedsim", "job %d exceeded max_failed_nodes=%d, failing",
+                id, fault_plan_.max_failed_nodes);
+      finish_job(id, /*failed=*/true);
+      return;
+    }
+  }
+
+  // Downtime: detection (crashes only; an eviction is reported
+  // synchronously), process restart, and a state restore from disk rather
+  // than /dev/shm.
+  const auto& rescale = exec.workload.rescale;
+  const double downtime =
+      (is_crash ? fault_plan_.detection_s : 0.0) +
+      rescale.restart_s(exec.replicas) +
+      rescale.restore_s(exec.replicas, exec.replicas) * fault_plan_.disk_factor;
+  exec.record.recovery_s += downtime;
+  exec.accrue_from = std::max(exec.accrue_from, now) + downtime;
+  schedule_completion(id);
+  EHPC_DEBUG("schedsim", "%s hit job %d at t=%.1f: %.1f steps lost, %.2fs down",
+             is_crash ? "crash" : "eviction", id, now, lost_steps, downtime);
+}
+
+void ExecHarness::inject_straggler() {
+  JobExec* victim = pick_victim();
+  if (victim == nullptr) return;
+  // Progress so far accrued at full speed; from now on the slow PE drags
+  // every step until a rescale replaces the process.
+  victim->accrue_until(sim_.now());
+  if (sim_.now() > victim->accrue_from) victim->accrue_from = sim_.now();
+  victim->slowdown = fault_plan_.straggler_factor;
+  schedule_completion(victim->record.id);
+}
+
+void ExecHarness::checkpoint_tick() {
+  const double now = sim_.now();
+  for (auto& [id, exec] : execs_) {
+    if (!exec.started || exec.done) continue;
+    // A job paused by a rescale or recovery cannot reach a checkpoint
+    // boundary this tick; it keeps its previous snapshot.
+    if (exec.accrue_from > now) continue;
+    exec.accrue_until(now);
+    exec.accrue_from = now;
+    exec.ckpt_remaining_steps = exec.remaining_steps;
+    // Writing the checkpoint pauses the job for its modeled checkpoint
+    // stage at disk (not /dev/shm) bandwidth.
+    exec.accrue_from +=
+        exec.workload.rescale.checkpoint_s(exec.replicas) * fault_plan_.disk_factor;
+    exec.record.recovery_s += exec.accrue_from - now;
+    schedule_completion(id);
+  }
+  if (any_job_unfinished()) {
+    sim_.schedule_at(now + fault_plan_.checkpoint_period_s,
+                     [this] { checkpoint_tick(); });
+  }
 }
 
 }  // namespace ehpc::schedsim

@@ -8,6 +8,7 @@
 #include "elastic/metrics.hpp"
 #include "elastic/policy.hpp"
 #include "elastic/workload.hpp"
+#include "schedsim/fault.hpp"
 #include "schedsim/jobmix.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
@@ -42,9 +43,21 @@ struct JobExec {
   bool started = false;
   bool done = false;
 
-  /// Seconds per step at the current replica count.
+  // ---- fault state (driven by the harness's FaultPlan) ----
+  /// Step-time multiplier while a straggler PE drags the job (1 = none);
+  /// cleared by the next rescale, which replaces the slow process.
+  double slowdown = 1.0;
+  /// Node crashes absorbed so far, charged against `max_failed_nodes`.
+  int failed_nodes = 0;
+  /// `remaining_steps` snapshot at the last disk checkpoint; a failure
+  /// rolls the job back to this (the initial snapshot is the full job:
+  /// without checkpoints a failure restarts from scratch).
+  double ckpt_remaining_steps = 0.0;
+
+  /// Seconds per step at the current replica count (and straggler state).
   double step_time() const {
-    return workload.time_per_step.at_clamped(static_cast<double>(replicas));
+    return workload.time_per_step.at_clamped(static_cast<double>(replicas)) *
+           slowdown;
   }
 
   /// Fold progress accrued up to `now` into `remaining_steps`. Must be
@@ -79,6 +92,12 @@ class ExecHarness {
 
   /// Execute one job mix to completion and collect metrics/traces.
   SimResult run(const std::vector<SubmittedJob>& mix);
+
+  /// Install a failure-injection plan. Must be called before `run()`; the
+  /// plan's events are scheduled alongside the mix's submissions, so both
+  /// substrates execute an identical fault sequence.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return fault_plan_; }
 
   elastic::PolicyEngine& engine() { return *engine_; }
   elastic::MetricsCollector& collector() { return *collector_; }
@@ -126,6 +145,26 @@ class ExecHarness {
 
  private:
   void submit(const SubmittedJob& job);
+  /// Shared tail of completion and budget-kill: cancel pending work, stamp
+  /// the record, notify the substrate, release the job's slots.
+  void finish_job(elastic::JobId id, bool failed);
+
+  // ---- fault injection (no-ops when the plan is empty) ----
+  void schedule_faults();
+  /// The widest running job (ties: lowest id); nullptr when none is running.
+  JobExec* pick_victim();
+  /// Roll the victim back to its last checkpoint and charge recovery
+  /// downtime; a crash also counts against the failure budget and kills the
+  /// job once the budget is exhausted.
+  void inject_crash();
+  /// MTBF chain step: crash now, re-arm while any job is unfinished.
+  void crash_chain();
+  void inject_evict();
+  void inject_straggler();
+  /// Snapshot every running job's progress and charge the checkpoint pause.
+  void checkpoint_tick();
+  void apply_fault(JobExec& exec, bool is_crash);
+  bool any_job_unfinished() const;
 
   sim::Simulation& sim_;
   int total_slots_;
@@ -136,6 +175,7 @@ class ExecHarness {
   sim::TraceRecorder trace_;
   int rescale_count_ = 0;
   bool used_ = false;
+  FaultPlan fault_plan_;
 };
 
 }  // namespace ehpc::schedsim

@@ -1,0 +1,22 @@
+#include "schedsim/fault.hpp"
+
+#include "common/error.hpp"
+
+namespace ehpc::schedsim {
+
+bool FaultPlan::empty() const {
+  return crash_times.empty() && crash_mtbf_s <= 0.0 && evict_times.empty() &&
+         straggler_at_s < 0.0 && checkpoint_period_s <= 0.0;
+}
+
+void FaultPlan::validate() const {
+  for (double t : crash_times) EHPC_EXPECTS(t >= 0.0);
+  for (double t : evict_times) EHPC_EXPECTS(t >= 0.0);
+  EHPC_EXPECTS(crash_mtbf_s >= 0.0);
+  EHPC_EXPECTS(checkpoint_period_s >= 0.0);
+  EHPC_EXPECTS(detection_s >= 0.0);
+  EHPC_EXPECTS(disk_factor > 0.0);
+  if (straggler_at_s >= 0.0) EHPC_EXPECTS(straggler_factor >= 1.0);
+}
+
+}  // namespace ehpc::schedsim

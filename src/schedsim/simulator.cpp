@@ -80,6 +80,7 @@ SimResult SchedSimulator::run(const std::vector<SubmittedJob>& mix) {
   // Fresh state per run: the simulator object is reusable.
   sim::Simulation sim;
   SimHarness harness(sim, total_slots_, policy_config_, workloads_);
+  harness.set_fault_plan(fault_plan_);
   return harness.run(mix);
 }
 

@@ -6,6 +6,7 @@
 #include "elastic/policy.hpp"
 #include "elastic/workload.hpp"
 #include "schedsim/exec.hpp"
+#include "schedsim/fault.hpp"
 #include "schedsim/jobmix.hpp"
 
 namespace ehpc::schedsim {
@@ -28,10 +29,14 @@ class SchedSimulator {
   /// Simulate one job mix to completion.
   SimResult run(const std::vector<SubmittedJob>& mix);
 
+  /// Failure-injection plan applied to every subsequent `run()`.
+  void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
+
  private:
   int total_slots_;
   elastic::PolicyConfig policy_config_;
   std::map<elastic::JobClass, elastic::Workload> workloads_;
+  FaultPlan fault_plan_;
 };
 
 }  // namespace ehpc::schedsim

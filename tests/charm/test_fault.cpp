@@ -121,6 +121,164 @@ TEST(FaultTolerance, RecoveryAfterRescaleUsesCheckpointPeCount) {
   EXPECT_EQ(rt.recoveries(), 1);
 }
 
+TEST(FaultTolerance, NodeLossRecoveryRemapsOntoSurvivingPes) {
+  // Checkpoint at 8 PEs, then lose a whole node (4 PEs with pes_per_node=4):
+  // recovery restarts on the 4 survivors. Every element checkpointed on PEs
+  // 4..7 must be re-placed onto a surviving PE — the recovery path used to
+  // restore the checkpoint-time placement unconditionally, leaving elements
+  // on PEs that no longer exist.
+  Runtime rt(pes(8));
+  apps::Jacobi2D app(rt, small_jacobi(12));
+  app.driver().set_disk_checkpoint_period(4);
+  app.driver().at_iteration(6, [](Runtime& r) { r.fail_and_recover(4); });
+  app.start();
+  rt.run();
+  EXPECT_TRUE(app.driver().finished());
+  EXPECT_EQ(rt.num_pes(), 4);
+  EXPECT_EQ(rt.recoveries(), 1);
+  for (ElementId e = 0; e < rt.num_elements(0); ++e) {
+    EXPECT_LT(rt.pe_of(0, e), rt.num_pes()) << "element " << e;
+    EXPECT_GE(rt.pe_of(0, e), 0) << "element " << e;
+  }
+}
+
+TEST(FaultTolerance, NodeLossRecoveryBalancesSurvivors) {
+  // The re-placement goes through the LB seam, not a modulo fold: with 16
+  // equal-footprint blocks on 4 survivors, no survivor ends up hosting more
+  // than half the array.
+  Runtime rt(pes(8));
+  apps::Jacobi2D app(rt, small_jacobi(12));
+  app.driver().set_disk_checkpoint_period(4);
+  app.driver().at_iteration(6, [](Runtime& r) { r.fail_and_recover(4); });
+  app.start();
+  rt.run();
+  EXPECT_TRUE(app.driver().finished());
+  std::vector<int> per_pe(4, 0);
+  for (ElementId e = 0; e < rt.num_elements(0); ++e) {
+    per_pe[static_cast<std::size_t>(rt.pe_of(0, e))]++;
+  }
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_GT(per_pe[static_cast<std::size_t>(pe)], 0) << "pe " << pe;
+    EXPECT_LE(per_pe[static_cast<std::size_t>(pe)], 8) << "pe " << pe;
+  }
+}
+
+TEST(FaultTolerance, NodeLossRecoveryPreservesNumerics) {
+  auto final_residual = [](bool fail) {
+    Runtime rt(pes(8));
+    apps::Jacobi2D app(rt, small_jacobi(12));
+    app.driver().set_disk_checkpoint_period(4);
+    if (fail) {
+      app.driver().at_iteration(6, [](Runtime& r) { r.fail_and_recover(4); });
+    }
+    app.start();
+    rt.run();
+    EXPECT_TRUE(app.driver().finished());
+    return app.residual();
+  };
+  EXPECT_DOUBLE_EQ(final_residual(true), final_residual(false));
+}
+
+TEST(FaultRaces, FailureWithMessagesInFlightRetiresDeadEvents) {
+  // Inject the failure shortly *after* an iteration boundary, while the next
+  // iteration's broadcasts and halo exchanges are still in flight. Recovery
+  // must retire those dead-configuration arrival events through the PE epoch
+  // guard instead of delivering them into the restarted configuration, and
+  // the re-executed iterations must reproduce the failure-free numerics.
+  auto final_residual = [](bool fail) {
+    Runtime rt(pes(4));
+    apps::Jacobi2D app(rt, small_jacobi(12));
+    app.driver().set_disk_checkpoint_period(4);
+    if (fail) {
+      app.driver().at_iteration(6, [](Runtime& r) {
+        r.schedule_external(r.now() + 1e-5,
+                            [](Runtime& r2) { r2.fail_and_recover(); });
+      });
+    }
+    app.start();
+    rt.run();
+    EXPECT_TRUE(app.driver().finished());
+    EXPECT_EQ(rt.recoveries(), fail ? 1 : 0);
+    return app.residual();
+  };
+  EXPECT_DOUBLE_EQ(final_residual(true), final_residual(false));
+}
+
+TEST(FaultRaces, SecondFailureBeforeRestartCompletes) {
+  // The second failure lands inside the first recovery's downtime window
+  // (failure detection alone is 5 s), before its restart event has fired.
+  // The stale restart must be retired by the epoch guard — only the second
+  // recovery's restart may resume the application, exactly once.
+  auto final_residual = [](bool fail) {
+    Runtime rt(pes(4));
+    apps::Jacobi2D app(rt, small_jacobi(12));
+    app.driver().set_disk_checkpoint_period(4);
+    if (fail) {
+      app.driver().at_iteration(6, [](Runtime& r) {
+        r.fail_and_recover();
+        r.schedule_external(r.now() + 1.0,
+                            [](Runtime& r2) { r2.fail_and_recover(); });
+      });
+    }
+    app.start();
+    rt.run();
+    EXPECT_TRUE(app.driver().finished());
+    EXPECT_EQ(rt.recoveries(), fail ? 2 : 0);
+    return app.residual();
+  };
+  EXPECT_DOUBLE_EQ(final_residual(true), final_residual(false));
+}
+
+TEST(FaultRaces, FailureDuringRescaleDowntimeSupersedesTheRescale) {
+  // A node dies while a 8 -> 4 rescale is mid-flight (inside its modeled
+  // checkpoint/restart/restore window). The recovery resets to the disk
+  // checkpoint's PE count and the rescale's stale resume event is retired;
+  // the run must still finish with correct numerics.
+  auto final_residual = [](bool fail) {
+    Runtime rt(pes(8));
+    apps::Jacobi2D app(rt, small_jacobi(14));
+    app.driver().set_disk_checkpoint_period(4);
+    if (fail) {
+      app.driver().at_iteration(9, [](Runtime& r) {
+        r.ccs().request_rescale(4);
+        // The rescale starts at this same boundary; its downtime is far
+        // longer than 1e-5 s, so the failure lands inside the window.
+        r.schedule_external(r.now() + 1e-5,
+                            [](Runtime& r2) { r2.fail_and_recover(); });
+      });
+    }
+    app.start();
+    rt.run();
+    EXPECT_TRUE(app.driver().finished());
+    if (fail) {
+      EXPECT_EQ(rt.recoveries(), 1);
+      EXPECT_EQ(rt.num_pes(), 8);  // checkpoint-time PE count, not the target
+    }
+    return app.residual();
+  };
+  EXPECT_DOUBLE_EQ(final_residual(true), final_residual(false));
+}
+
+TEST(FaultRaces, FailureInsideEntryMethodIsAContractViolation) {
+  // fail_and_recover destroys the executing element under its own feet; the
+  // runtime forbids calling it from inside an entry method even when a disk
+  // checkpoint exists.
+  Runtime rt(pes(4));
+  apps::Jacobi2D app(rt, small_jacobi(12));
+  app.driver().set_disk_checkpoint_period(4);
+  bool checked = false;
+  app.driver().at_iteration(6, [&checked](Runtime& r) {
+    r.send(0, 0, 8, [&checked](Chare&, Runtime& r2) {
+      EXPECT_THROW(r2.fail_and_recover(), PreconditionError);
+      checked = true;
+    });
+  });
+  app.start();
+  rt.run();
+  EXPECT_TRUE(checked);
+  EXPECT_TRUE(app.driver().finished());
+}
+
 TEST(FaultTolerance, DiskSlowerThanSharedMemory) {
   // The disk checkpoint of the same state must cost more virtual time than
   // the in-memory rescale checkpoint stage.

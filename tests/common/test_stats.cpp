@@ -113,8 +113,15 @@ TEST(Percentile, EmptyThrows) {
 }
 
 TEST(MeanOf, Basics) {
-  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
   EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(mean_of({5.0}), 5.0);
+}
+
+TEST(MeanOf, EmptyThrowsLikePercentile) {
+  // mean_of used to return 0.0 on empty input while percentile threw; the
+  // goodput metrics hit the empty case on jobs killed before their first
+  // iteration, and a silent 0 would poison averaged results.
+  EXPECT_THROW(mean_of({}), PreconditionError);
 }
 
 TEST(TimeWeightedAverage, ConstantFunction) {

@@ -1,0 +1,138 @@
+// Failure injection on the Kubernetes substrate: the shared harness replays
+// the fault plan against the full operator/pod/handshake machinery, so the
+// failure-adjacent races (crash during an in-flight rescale handshake, a
+// second crash inside a recovery's downtime window, budget kills racing
+// pending handshakes) get exercised with every operator-level overhead.
+
+#include "opk/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schedsim/calibrate.hpp"
+
+namespace ehpc::opk {
+namespace {
+
+using elastic::JobClass;
+using elastic::PolicyMode;
+using schedsim::SubmittedJob;
+
+SubmittedJob job(int id, JobClass cls, int priority, double submit) {
+  SubmittedJob j;
+  j.spec = elastic::spec_for_class(cls, id, priority);
+  j.job_class = cls;
+  j.submit_time = submit;
+  return j;
+}
+
+ExperimentConfig config(PolicyMode mode, double gap = 180.0) {
+  ExperimentConfig cfg;
+  cfg.policy.mode = mode;
+  cfg.policy.rescale_gap_s = gap;
+  return cfg;
+}
+
+TEST(ClusterFaults, CrashRollsBackAndChargesRecovery) {
+  auto workloads = schedsim::analytic_workloads();
+  ExperimentConfig cfg = config(PolicyMode::kElastic);
+  cfg.faults.crash_times = {60.0};
+  cfg.faults.checkpoint_period_s = 25.0;
+  ClusterExperiment exp(cfg, workloads);
+  const auto result = exp.run({job(0, JobClass::kMedium, 3, 0.0)});
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_FALSE(result.jobs[0].failed);
+  EXPECT_GT(result.jobs[0].recovery_s, 0.0);
+  EXPECT_EQ(result.metrics.failures, 1.0);
+  EXPECT_LT(result.metrics.goodput, 1.0);
+}
+
+TEST(ClusterFaults, CrashDuringInFlightRescaleHandshakes) {
+  // rescale_gap 0 keeps signal -> boundary -> ack handshakes almost always
+  // in flight; a crash chain then repeatedly lands inside them. Every job
+  // must still run to completion with its recovery downtime accounted.
+  auto workloads = schedsim::analytic_workloads();
+  for (auto& [cls, w] : workloads) w.total_steps = 2000;
+  ExperimentConfig cfg = config(PolicyMode::kElastic, 0.0);
+  cfg.faults.crash_mtbf_s = 60.0;
+  cfg.faults.checkpoint_period_s = 30.0;
+  ClusterExperiment exp(cfg, workloads);
+  std::vector<SubmittedJob> mix;
+  const JobClass classes[] = {JobClass::kXLarge, JobClass::kSmall,
+                              JobClass::kLarge, JobClass::kMedium};
+  for (int i = 0; i < 12; ++i) {
+    mix.push_back(job(i, classes[i % 4], 1 + (i * 3) % 5, 1.0 * i));
+  }
+  const auto result = exp.run(mix);
+  ASSERT_EQ(result.jobs.size(), 12u);
+  for (const auto& rec : result.jobs) EXPECT_FALSE(rec.failed);
+  EXPECT_GT(result.rescale_count, 0);
+  EXPECT_GT(result.metrics.failures, 0.0);
+  EXPECT_GT(result.metrics.recovery_time_s, 0.0);
+}
+
+TEST(ClusterFaults, SecondCrashInsideRecoveryDowntime) {
+  // Detection alone is 5 s, so the second crash lands inside the first
+  // recovery's downtime while the job's completion event points past it.
+  // Both rollbacks must be charged and the job still completes.
+  auto workloads = schedsim::analytic_workloads();
+  ExperimentConfig cfg = config(PolicyMode::kElastic);
+  cfg.faults.crash_times = {60.0, 61.0};
+  cfg.faults.checkpoint_period_s = 25.0;
+  ClusterExperiment exp(cfg, workloads);
+  const auto result = exp.run({job(0, JobClass::kMedium, 3, 0.0)});
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_FALSE(result.jobs[0].failed);
+  EXPECT_EQ(result.metrics.failures, 2.0);
+  // Two detections' worth of downtime at minimum.
+  EXPECT_GT(result.jobs[0].recovery_s, 10.0);
+}
+
+TEST(ClusterFaults, BudgetKillFreesPodsForWaitingJobs) {
+  // prun-style maxFailedNodes=0: the first crash permanently fails the
+  // widest running job. Its pods must be released back to the cluster so
+  // the surviving jobs can still finish.
+  auto workloads = schedsim::analytic_workloads();
+  ExperimentConfig cfg = config(PolicyMode::kElastic);
+  cfg.faults.crash_times = {60.0};
+  cfg.faults.max_failed_nodes = 0;
+  ClusterExperiment exp(cfg, workloads);
+  const auto result = exp.run({job(0, JobClass::kLarge, 3, 0.0),
+                               job(1, JobClass::kSmall, 2, 30.0)});
+  ASSERT_EQ(result.jobs.size(), 2u);
+  int failed = 0;
+  for (const auto& rec : result.jobs) failed += rec.failed ? 1 : 0;
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(result.metrics.jobs_failed, 1.0);
+  // All pods are gone once every job has completed or been killed.
+  EXPECT_EQ(exp.cluster().bound_cpus(), 0);
+}
+
+TEST(ClusterFaults, EvictionsDoNotChargeTheFailureBudget) {
+  auto workloads = schedsim::analytic_workloads();
+  ExperimentConfig cfg = config(PolicyMode::kElastic);
+  cfg.faults.evict_times = {60.0, 80.0};
+  cfg.faults.max_failed_nodes = 0;
+  cfg.faults.checkpoint_period_s = 50.0;
+  ClusterExperiment exp(cfg, workloads);
+  const auto result = exp.run({job(0, JobClass::kMedium, 3, 0.0)});
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_FALSE(result.jobs[0].failed);
+  EXPECT_EQ(result.metrics.evictions, 2.0);
+  EXPECT_EQ(result.metrics.jobs_failed, 0.0);
+}
+
+TEST(ClusterFaults, StragglerSlowsJobUntilRescale) {
+  auto workloads = schedsim::analytic_workloads();
+  auto run_with = [&](double factor) {
+    ExperimentConfig cfg = config(PolicyMode::kElastic);
+    cfg.faults.straggler_at_s = 60.0;
+    cfg.faults.straggler_factor = factor;
+    ClusterExperiment exp(cfg, workloads);
+    const auto result = exp.run({job(0, JobClass::kMedium, 3, 0.0)});
+    return result.jobs.at(0).complete_time;
+  };
+  EXPECT_GT(run_with(2.0), run_with(1.0));
+}
+
+}  // namespace
+}  // namespace ehpc::opk

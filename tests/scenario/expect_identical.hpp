@@ -24,6 +24,12 @@ inline void expect_identical(const elastic::RunMetrics& a,
   EXPECT_EQ(a.lb_post_ratio, b.lb_post_ratio) << where;
   EXPECT_EQ(a.lb_migrations_per_step, b.lb_migrations_per_step) << where;
   EXPECT_EQ(a.lb_steps, b.lb_steps) << where;
+  EXPECT_EQ(a.failures, b.failures) << where;
+  EXPECT_EQ(a.evictions, b.evictions) << where;
+  EXPECT_EQ(a.jobs_failed, b.jobs_failed) << where;
+  EXPECT_EQ(a.recovery_time_s, b.recovery_time_s) << where;
+  EXPECT_EQ(a.lost_work_s, b.lost_work_s) << where;
+  EXPECT_EQ(a.goodput, b.goodput) << where;
 }
 
 inline void expect_identical(const SweepResult& serial,

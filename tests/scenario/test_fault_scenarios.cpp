@@ -1,0 +1,200 @@
+// The fault-injection scenario family: registry entries, spec keys and
+// validation, recovery metrics on both substrates, and parallel determinism
+// of fault sweeps (these run in the tsan/asan CI lanes like every scenario
+// test — keep the specs small).
+
+#include <gtest/gtest.h>
+
+#include "expect_identical.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
+
+namespace ehpc::scenario {
+namespace {
+
+using elastic::PolicyMode;
+using elastic::RunMetrics;
+
+/// A small faulty spec: few short-gap jobs, a crash chain and periodic
+/// checkpoints, single policy so TSan stays fast.
+ScenarioSpec small_fault_spec() {
+  ScenarioSpec spec;
+  spec.num_jobs = 6;
+  spec.submission_gap_s = 30.0;
+  spec.repeats = 2;
+  spec.policies = {PolicyMode::kElastic};
+  spec.faults.crash_mtbf_s = 400.0;
+  spec.faults.checkpoint_period_s = 200.0;
+  return spec;
+}
+
+TEST(FaultScenarios, AllThreeAreRegisteredAndValid) {
+  auto& registry = ScenarioRegistry::instance();
+  for (const char* name :
+       {"fault_recovery", "fault_churn", "fault_lb_ablation"}) {
+    const ScenarioSpec* spec = registry.find(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_FALSE(spec->faults.empty()) << name;
+    EXPECT_NO_THROW(spec->validate()) << name;
+  }
+  EXPECT_EQ(registry.require("fault_churn").axis, SweepAxis::kFaultMtbf);
+  EXPECT_EQ(registry.require("fault_lb_ablation").axis, SweepAxis::kLbStrategy);
+  EXPECT_EQ(registry.require("fault_recovery").axis, SweepAxis::kNone);
+}
+
+TEST(FaultScenarios, SpecValidationRejectsBadFaultParameters) {
+  ScenarioSpec spec = small_fault_spec();
+  spec.faults.crash_times = {-1.0};
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = small_fault_spec();
+  spec.faults.straggler_at_s = 10.0;
+  spec.faults.straggler_factor = 0.5;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = small_fault_spec();
+  spec.faults.disk_factor = 0.0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  // Fault sweep values must be positive periods.
+  spec = small_fault_spec();
+  spec.faults.crash_mtbf_s = 0.0;
+  spec.axis = SweepAxis::kFaultMtbf;
+  spec.axis_values = {600.0, 0.0};
+  EXPECT_THROW(spec.validate(), ConfigError);
+  spec.axis = SweepAxis::kCheckpointPeriod;
+  spec.axis_values = {-300.0};
+  EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(FaultScenarios, ConfigKeysRoundTripThroughSpecFromConfig) {
+  const char* argv[] = {"test",
+                        "scenario=fault_recovery",
+                        "fault_times=100,900",
+                        "evict_times=500",
+                        "fault_mtbf=0",
+                        "checkpoint_period=250",
+                        "straggler_at=50",
+                        "straggler_factor=1.5",
+                        "fault_detection=2",
+                        "max_failed_nodes=3",
+                        "repeats=2"};
+  const Config cfg = Config::from_args(11, argv, scenario_config_keys());
+  const ScenarioSpec spec = resolve_scenario(cfg);
+  EXPECT_EQ(spec.name, "fault_recovery");
+  ASSERT_EQ(spec.faults.crash_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.faults.crash_times[1], 900.0);
+  ASSERT_EQ(spec.faults.evict_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.faults.checkpoint_period_s, 250.0);
+  EXPECT_DOUBLE_EQ(spec.faults.straggler_at_s, 50.0);
+  EXPECT_DOUBLE_EQ(spec.faults.straggler_factor, 1.5);
+  EXPECT_DOUBLE_EQ(spec.faults.detection_s, 2.0);
+  EXPECT_EQ(spec.faults.max_failed_nodes, 3);
+  EXPECT_NE(describe(spec).find("fault_times=100,900"), std::string::npos);
+  EXPECT_NE(describe(spec).find("max_failed_nodes=3"), std::string::npos);
+}
+
+TEST(FaultScenarios, CrashChainSurfacesRecoveryMetrics) {
+  const auto metrics = compare_policies(small_fault_spec(), 1);
+  const RunMetrics& m = metrics.at(PolicyMode::kElastic);
+  EXPECT_GT(m.failures, 0.0);
+  EXPECT_GT(m.recovery_time_s, 0.0);
+  EXPECT_GT(m.lost_work_s, 0.0);
+  EXPECT_LT(m.goodput, 1.0);
+  EXPECT_GT(m.goodput, 0.0);
+}
+
+TEST(FaultScenarios, NoFaultPlanLeavesMetricsNeutral) {
+  ScenarioSpec spec = small_fault_spec();
+  spec.faults = schedsim::FaultPlan{};
+  const auto m = compare_policies(spec, 1).at(PolicyMode::kElastic);
+  EXPECT_EQ(m.failures, 0.0);
+  EXPECT_EQ(m.evictions, 0.0);
+  EXPECT_EQ(m.jobs_failed, 0.0);
+  EXPECT_EQ(m.recovery_time_s, 0.0);
+  EXPECT_EQ(m.lost_work_s, 0.0);
+  EXPECT_EQ(m.goodput, 1.0);
+}
+
+TEST(FaultScenarios, CheckpointingReducesLostWork) {
+  // Without checkpoints a crash rolls the job back to its start; frequent
+  // checkpoints bound the rollback to at most one period of progress. A
+  // single explicit crash (not an MTBF chain): with no checkpoints a chain
+  // would legitimately never let a long job finish.
+  ScenarioSpec spec = small_fault_spec();
+  spec.faults.crash_mtbf_s = 0.0;
+  spec.faults.crash_times = {150.0};
+  spec.faults.checkpoint_period_s = 0.0;
+  const auto none = compare_policies(spec, 1).at(PolicyMode::kElastic);
+  spec.faults.checkpoint_period_s = 100.0;
+  const auto frequent = compare_policies(spec, 1).at(PolicyMode::kElastic);
+  ASSERT_GT(none.failures, 0.0);
+  EXPECT_GT(none.lost_work_s, frequent.lost_work_s);
+}
+
+TEST(FaultScenarios, FailureBudgetKillsJobs) {
+  ScenarioSpec spec = small_fault_spec();
+  spec.faults.crash_mtbf_s = 150.0;
+  spec.faults.checkpoint_period_s = 100.0;
+  spec.faults.max_failed_nodes = 0;
+  const auto m = compare_policies(spec, 1).at(PolicyMode::kElastic);
+  EXPECT_GT(m.jobs_failed, 0.0);
+  // A killed job contributes zero goodput.
+  EXPECT_LT(m.goodput, 1.0);
+}
+
+TEST(FaultScenarios, MtbfSweepIsBitIdenticalAcrossThreadCounts) {
+  ScenarioSpec spec = small_fault_spec();
+  spec.faults.crash_mtbf_s = 0.0;
+  spec.faults.max_failed_nodes = 2;
+  spec.axis = SweepAxis::kFaultMtbf;
+  spec.axis_values = {200.0, 800.0};
+  expect_identical(run_sweep(spec, 1), run_sweep(spec, 8));
+}
+
+TEST(FaultScenarios, CheckpointPeriodSweepIsBitIdenticalAcrossThreadCounts) {
+  ScenarioSpec spec = small_fault_spec();
+  // Periods deliberately not aligned with the 400 s MTBF: a tick landing
+  // exactly inside every crash's downtime would never snapshot progress.
+  spec.faults.checkpoint_period_s = 0.0;
+  spec.axis = SweepAxis::kCheckpointPeriod;
+  spec.axis_values = {100.0, 250.0};
+  expect_identical(run_sweep(spec, 1), run_sweep(spec, 8));
+}
+
+TEST(FaultScenarios, ClusterSubstrateIsBitIdenticalAcrossThreadCounts) {
+  ScenarioSpec spec = small_fault_spec();
+  spec.substrate = Substrate::kCluster;
+  spec.num_jobs = 4;
+  expect_identical(run_sweep(spec, 1), run_sweep(spec, 8));
+}
+
+TEST(FaultScenarios, BothSubstratesRunTheRegisteredScenarios) {
+  // The registered specs themselves, shrunk to smoke size, on each
+  // substrate (the acceptance bar for "runnable on both backends").
+  for (const char* name :
+       {"fault_recovery", "fault_churn", "fault_lb_ablation"}) {
+    for (const Substrate substrate :
+         {Substrate::kSchedSim, Substrate::kCluster}) {
+      ScenarioSpec spec = ScenarioRegistry::instance().require(name);
+      spec.substrate = substrate;
+      spec.repeats = 1;
+      spec.num_jobs = 3;
+      spec.policies = {PolicyMode::kElastic};
+      if (spec.axis_values.size() > 2) spec.axis_values.resize(2);
+      const auto sweep = run_sweep(spec, 2);
+      const std::size_t expected_points =
+          spec.axis == SweepAxis::kNone ? 1u : spec.axis_values.size();
+      ASSERT_EQ(sweep.points.size(), expected_points)
+          << name << " on " << to_string(substrate);
+      for (const auto& point : sweep.points) {
+        const auto& m = point.metrics.at(PolicyMode::kElastic);
+        EXPECT_GE(m.goodput, 0.0) << name;
+        EXPECT_LE(m.goodput, 1.0) << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ehpc::scenario
