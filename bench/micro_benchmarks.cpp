@@ -12,6 +12,7 @@
 #include "common/piecewise_linear.hpp"
 #include "common/rng.hpp"
 #include "elastic/policy.hpp"
+#include "k8s/cluster.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -210,6 +211,34 @@ void BM_PiecewiseLinearEval(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PiecewiseLinearEval);
+
+// End-to-end control-plane hot path: create N pending pods with affinity
+// labels on a range(0)/16-node cluster and run the simulation until every
+// pod is bound and running. Exercises the indexed placement (ClusterIndex
+// score buckets + affinity candidates), batched watch delivery and the
+// kubelet transitions — the loop that bench_fig_k8s_scale scales to 100k
+// pods. Items = pods bound; the perf gate floors items_per_second.
+void BM_K8sClusterSchedule(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int pods = nodes * 16;  // exactly fills the cluster at 1 cpu/pod
+  for (auto _ : state) {
+    k8s::Cluster cluster;
+    cluster.add_nodes("node", nodes, {16, 32768});
+    for (int i = 0; i < pods; ++i) {
+      k8s::Pod pod;
+      pod.meta.name = "job-" + std::to_string(i % 64) + "-worker-" +
+                      std::to_string(i / 64);
+      pod.meta.labels["job"] = "job-" + std::to_string(i % 64);
+      pod.affinity_key = "job";
+      pod.affinity_value = pod.meta.labels["job"];
+      cluster.create_pod(pod);
+    }
+    cluster.sim().run();
+    benchmark::DoNotOptimize(cluster.bound_cpus());
+  }
+  state.SetItemsProcessed(state.iterations() * pods);
+}
+BENCHMARK(BM_K8sClusterSchedule)->Arg(64)->Arg(512);
 
 void BM_PolicyEngineSubmitComplete(benchmark::State& state) {
   for (auto _ : state) {

@@ -5,9 +5,16 @@
 namespace ehpc::k8s {
 
 Cluster::Cluster(ClusterConfig config) {
+  index_ = std::make_unique<ClusterIndex>(nodes_, pods_);
   scheduler_ = std::make_unique<KubeScheduler>(sim_, nodes_, pods_,
-                                               config.scheduler);
+                                               config.scheduler, index_.get());
   kubelet_ = std::make_unique<Kubelet>(sim_, pods_, config.kubelet);
+  // Batched watch delivery: the first queued event of a window schedules a
+  // flush on the current tick's FIFO lane, after the in-flight event chain.
+  nodes_.enable_batched_delivery(
+      [this] { sim_.schedule_now([this] { nodes_.flush(); }); });
+  pods_.enable_batched_delivery(
+      [this] { sim_.schedule_now([this] { pods_.flush(); }); });
 }
 
 void Cluster::add_nodes(const std::string& prefix, int count,
@@ -32,37 +39,6 @@ void Cluster::delete_pod(const std::string& name) {
   const Pod* pod = pods_.find(name);
   if (pod == nullptr || pod->phase == PodPhase::kTerminating) return;
   pods_.mutate(name, [](Pod& p) { p.phase = PodPhase::kTerminating; });
-}
-
-int Cluster::total_cpus() const {
-  int total = 0;
-  for (const Node* node : nodes_.list()) {
-    if (node->ready) total += node->capacity.cpus;
-  }
-  return total;
-}
-
-int Cluster::used_cpus() const {
-  int used = 0;
-  for (const Pod* pod : pods_.list()) {
-    if (pod->phase == PodPhase::kSucceeded || pod->phase == PodPhase::kFailed) {
-      continue;
-    }
-    used += pod->request.cpus;
-  }
-  return used;
-}
-
-int Cluster::bound_cpus() const {
-  int used = 0;
-  for (const Pod* pod : pods_.list()) {
-    if (pod->node_name.empty()) continue;
-    if (pod->phase == PodPhase::kSucceeded || pod->phase == PodPhase::kFailed) {
-      continue;
-    }
-    used += pod->request.cpus;
-  }
-  return used;
 }
 
 }  // namespace ehpc::k8s

@@ -1,14 +1,20 @@
 #include "k8s/scheduler.hpp"
 
-#include <limits>
+#include <vector>
 
 #include "common/log.hpp"
 
 namespace ehpc::k8s {
 
 KubeScheduler::KubeScheduler(sim::Simulation& sim, ObjectStore<Node>& nodes,
-                             ObjectStore<Pod>& pods, SchedulerConfig config)
+                             ObjectStore<Pod>& pods, SchedulerConfig config,
+                             const ClusterIndex* index)
     : sim_(sim), nodes_(nodes), pods_(pods), config_(config) {
+  if (index == nullptr) {
+    owned_index_ = std::make_unique<ClusterIndex>(nodes_, pods_);
+    index = owned_index_.get();
+  }
+  index_ = index;
   // Watch for new pending pods and for capacity freed by departing pods.
   pods_.watch([this](WatchEvent event, const Pod& pod) {
     if (event == WatchEvent::kAdded && pod.phase == PodPhase::kPending) {
@@ -17,66 +23,26 @@ KubeScheduler::KubeScheduler(sim::Simulation& sim, ObjectStore<Node>& nodes,
                           [this, name] { try_schedule(name); });
     } else if (event == WatchEvent::kDeleted) {
       // Freed capacity: give unschedulable pods another chance.
-      sim_.schedule_after(config_.schedule_latency_s, [this] { retry_pending(); });
+      request_retry();
     }
   });
-  nodes_.watch([this](WatchEvent, const Node&) {
-    sim_.schedule_after(config_.schedule_latency_s, [this] { retry_pending(); });
-  });
+  nodes_.watch([this](WatchEvent, const Node&) { request_retry(); });
 }
 
 Resources KubeScheduler::used_on(const std::string& node_name) const {
-  Resources used;
-  for (const Pod* pod : pods_.list()) {
-    if (pod->node_name != node_name) continue;
-    if (pod->phase == PodPhase::kSucceeded || pod->phase == PodPhase::kFailed) {
-      continue;
-    }
-    used = used + pod->request;
-  }
-  return used;
+  return index_->used_on(node_name);
 }
 
 std::string KubeScheduler::pick_node(const Pod& pod) const {
-  std::string best;
-  double best_score = -std::numeric_limits<double>::infinity();
-  for (const Node* node : nodes_.list()) {
-    if (!node->ready) continue;  // filter: node health
-    const Resources used = used_on(node->meta.name);
-    if (!(used + pod.request).fits_within(node->capacity)) continue;  // filter: fit
-
-    // Score: allocation ratio (binpack prefers fuller nodes) plus soft
-    // affinity to pods with the matching label.
-    const double alloc_ratio =
-        node->capacity.cpus > 0
-            ? static_cast<double>(used.cpus) / node->capacity.cpus
-            : 0.0;
-    double score = config_.strategy == PlacementStrategy::kBinPack
-                       ? alloc_ratio
-                       : -alloc_ratio;
-    if (!pod.affinity_key.empty()) {
-      int colocated = 0;
-      for (const Pod* other : pods_.list()) {
-        if (other->node_name != node->meta.name) continue;
-        auto it = other->meta.labels.find(pod.affinity_key);
-        if (it != other->meta.labels.end() && it->second == pod.affinity_value) {
-          ++colocated;
-        }
-      }
-      score += config_.affinity_weight * colocated /
-               std::max(1, node->capacity.cpus);
-    }
-    if (score > best_score) {
-      best_score = score;
-      best = node->meta.name;
-    }
-  }
-  return best;
+  return index_->best_node(pod,
+                           config_.strategy == PlacementStrategy::kBinPack,
+                           config_.affinity_weight);
 }
 
 void KubeScheduler::try_schedule(const std::string& pod_name) {
   const Pod* pod = pods_.find(pod_name);
   if (pod == nullptr || pod->phase != PodPhase::kPending) return;
+  ++stats_.bind_attempts;
   const std::string node = pick_node(*pod);
   if (node.empty()) {
     EHPC_DEBUG("kube-scheduler", "pod %s unschedulable, stays pending",
@@ -94,11 +60,19 @@ void KubeScheduler::try_schedule(const std::string& pod_name) {
              node.c_str());
 }
 
+void KubeScheduler::request_retry() {
+  const double target = sim_.now() + config_.schedule_latency_s;
+  if (target == retry_scheduled_for_) return;  // one sweep per tick
+  retry_scheduled_for_ = target;
+  sim_.schedule_after(config_.schedule_latency_s, [this] { retry_pending(); });
+}
+
 void KubeScheduler::retry_pending() {
-  for (const Pod* pod : pods_.list_where(
-           [](const Pod& p) { return p.phase == PodPhase::kPending; })) {
-    try_schedule(pod->meta.name);
-  }
+  ++stats_.retry_sweeps;
+  // Copy the names: a successful bind mutates the pending index mid-sweep.
+  const auto& pending = index_->pods_in_phase(PodPhase::kPending);
+  const std::vector<std::string> names(pending.begin(), pending.end());
+  for (const std::string& name : names) try_schedule(name);
 }
 
 }  // namespace ehpc::k8s

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "k8s/api.hpp"
 #include "k8s/store.hpp"
+#include "k8s/views.hpp"
 #include "sim/simulation.hpp"
 
 namespace ehpc::k8s {
@@ -28,10 +31,28 @@ struct SchedulerConfig {
 /// spread, plus soft pod-affinity), then binds the pod after the configured
 /// scheduling latency. Pods that fit nowhere stay Pending and are retried on
 /// every subsequent pod/node change.
+///
+/// All placement queries are answered from a `ClusterIndex` (incrementally
+/// maintained, O(log n) per mutation) instead of rescanning the stores, so a
+/// scheduling tick costs O(pending × feasible-node walk) rather than
+/// O(pods × nodes × pods). Retry passes triggered by several events landing
+/// on the same virtual-time tick are deduplicated: the pass is idempotent at
+/// a fixed time, so one sweep per tick is behavior-identical to the
+/// historical one-sweep-per-event.
 class KubeScheduler {
  public:
+  /// Deterministic tick-cost counters (committed-baseline material).
+  struct Stats {
+    std::int64_t bind_attempts = 0;  ///< try_schedule invocations
+    std::int64_t retry_sweeps = 0;   ///< deduplicated pending-queue sweeps
+  };
+
+  /// `index` may be null, in which case the scheduler maintains a private
+  /// ClusterIndex over the two stores (standalone use in tests). `Cluster`
+  /// passes its shared index so the whole control plane maintains one.
   KubeScheduler(sim::Simulation& sim, ObjectStore<Node>& nodes,
-                ObjectStore<Pod>& pods, SchedulerConfig config);
+                ObjectStore<Pod>& pods, SchedulerConfig config,
+                const ClusterIndex* index = nullptr);
 
   /// Resources currently claimed on a node by bound, non-finished pods
   /// (Terminating pods still hold their request until removed).
@@ -41,16 +62,25 @@ class KubeScheduler {
   std::string pick_node(const Pod& pod) const;
 
   int scheduled_count() const { return scheduled_count_; }
+  const Stats& stats() const { return stats_; }
+  const ClusterIndex& index() const { return *index_; }
 
  private:
   void try_schedule(const std::string& pod_name);
   void retry_pending();
+  void request_retry();
 
   sim::Simulation& sim_;
   ObjectStore<Node>& nodes_;
   ObjectStore<Pod>& pods_;
   SchedulerConfig config_;
+  std::unique_ptr<ClusterIndex> owned_index_;  ///< standalone mode only
+  const ClusterIndex* index_;
+  /// Virtual time of the most recently scheduled retry sweep; sweeps are
+  /// deduplicated per target tick (events arrive in nondecreasing time).
+  double retry_scheduled_for_ = -1.0;
   int scheduled_count_ = 0;
+  Stats stats_;
 };
 
 }  // namespace ehpc::k8s

@@ -1,6 +1,7 @@
 #include "opk/controller.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -27,12 +28,16 @@ CharmJobController::CharmJobController(k8s::Cluster& cluster,
     if (event == k8s::WatchEvent::kDeleted) return;
     request_reconcile(job.meta.name);
   });
-  // Pod phase changes update the owning job's readiness.
+  // Pod phase changes update the owning job's readiness. One check per job
+  // per tick: the check reads current state, so several pod events landing
+  // on the same tick need only the first to schedule it.
   cluster_.pods().watch([this](k8s::WatchEvent, const k8s::Pod& pod) {
     auto it = pod.meta.labels.find("job");
     if (it == pod.meta.labels.end()) return;
     const std::string job_name = it->second;
+    if (!readiness_check_pending_.insert(job_name).second) return;
     cluster_.sim().schedule_after(0.0, [this, job_name] {
+      readiness_check_pending_.erase(job_name);
       if (jobs_.contains(job_name)) update_readiness(job_name);
     });
   });
@@ -52,15 +57,12 @@ void CharmJobController::request_reconcile(const std::string& job_name) {
 void CharmJobController::reconcile(const std::string& job_name) {
   ++reconcile_count_;
   const CharmJob& job = jobs_.get(job_name);
+  const auto& owned = cluster_.index().pods_with_label("job", job_name);
   if (job.phase == CharmJobPhase::kCompleted) {
-    // Tear down every worker pod.
-    for (const k8s::Pod* pod : cluster_.pods().list_where(
-             [&](const k8s::Pod& p) {
-               auto it = p.meta.labels.find("job");
-               return it != p.meta.labels.end() && it->second == job_name;
-             })) {
-      cluster_.delete_pod(pod->meta.name);
-    }
+    // Tear down every pod of the job (workers and launcher). Copy the
+    // names: delete_pod mutates the store, which rewrites the index sets.
+    const std::vector<std::string> names(owned.begin(), owned.end());
+    for (const std::string& name : names) cluster_.delete_pod(name);
     return;
   }
   if (job.desired_replicas <= 0) return;
@@ -97,18 +99,18 @@ void CharmJobController::reconcile(const std::string& job_name) {
   }
   // Delete surplus ranks (highest first, matching shrink semantics: the
   // runtime has already evacuated those PEs before we get here).
-  for (const k8s::Pod* pod : cluster_.pods().list_where(
-           [&](const k8s::Pod& p) {
-             auto jt = p.meta.labels.find("job");
-             auto rt = p.meta.labels.find("role");
-             return jt != p.meta.labels.end() && jt->second == job_name &&
-                    rt != p.meta.labels.end() && rt->second == "worker";
-           })) {
-    // Rank = suffix after last '-'.
-    const std::string& name = pod->meta.name;
-    const auto dash = name.rfind('-');
-    const int rank = std::atoi(name.substr(dash + 1).c_str());
-    if (rank >= job.desired_replicas) cluster_.delete_pod(name);
+  {
+    const std::vector<std::string> names(owned.begin(), owned.end());
+    for (const std::string& name : names) {
+      const k8s::Pod* pod = cluster_.pods().find(name);
+      if (pod == nullptr) continue;
+      auto rt = pod->meta.labels.find("role");
+      if (rt == pod->meta.labels.end() || rt->second != "worker") continue;
+      // Rank = suffix after last '-'.
+      const auto dash = name.rfind('-');
+      const int rank = std::atoi(name.substr(dash + 1).c_str());
+      if (rank >= job.desired_replicas) cluster_.delete_pod(name);
+    }
   }
   update_readiness(job_name);
 }
@@ -118,19 +120,18 @@ void CharmJobController::update_readiness(const std::string& job_name) {
   if (job.phase == CharmJobPhase::kCompleted) return;
   int running = 0;
   std::vector<std::string> nodelist;
-  for (const k8s::Pod* pod : cluster_.pods().list_where(
-           [&](const k8s::Pod& p) {
-             auto jt = p.meta.labels.find("job");
-             auto rt = p.meta.labels.find("role");
-             return jt != p.meta.labels.end() && jt->second == job_name &&
-                    rt != p.meta.labels.end() && rt->second == "worker";
-           })) {
+  // The label index is name-ordered, so the nodelist comes out sorted.
+  // Reads only — pod mutations cannot happen under us here.
+  for (const std::string& name :
+       cluster_.index().pods_with_label("job", job_name)) {
+    const k8s::Pod* pod = cluster_.pods().find(name);
+    auto rt = pod->meta.labels.find("role");
+    if (rt == pod->meta.labels.end() || rt->second != "worker") continue;
     if (pod->phase == k8s::PodPhase::kRunning) {
       ++running;
-      nodelist.push_back(pod->meta.name);
+      nodelist.push_back(name);
     }
   }
-  std::sort(nodelist.begin(), nodelist.end());
   const int desired = job.desired_replicas;
   if (running != job.ready_replicas || nodelist != job.nodelist) {
     jobs_.mutate(job_name, [&](CharmJob& j) {

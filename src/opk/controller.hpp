@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 
 #include "k8s/cluster.hpp"
@@ -48,6 +49,10 @@ class CharmJobController {
   k8s::ObjectStore<CharmJob>& jobs_;
   ControllerConfig config_;
   std::map<std::string, std::vector<ReadyCallback>> ready_waiters_;
+  /// Jobs with a readiness check already queued for the current tick — pod
+  /// events arriving on one tick fold into a single check (idempotent at a
+  /// fixed virtual time, so this is behavior-identical and O(distinct jobs)).
+  std::set<std::string> readiness_check_pending_;
   int reconcile_count_ = 0;
 };
 

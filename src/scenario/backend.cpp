@@ -59,7 +59,17 @@ std::map<elastic::JobClass, elastic::Workload> workloads_for(
 std::vector<schedsim::SubmittedJob> make_mix(const ScenarioSpec& spec,
                                              unsigned seed) {
   schedsim::JobMixGenerator generator(seed);
-  return generator.generate(spec.num_jobs, spec.submission_gap_s);
+  auto mix = generator.generate(spec.num_jobs, spec.submission_gap_s);
+  if (spec.pods_per_job > 0) {
+    // Scale mode: force every job rigid at the requested width. Classes and
+    // priorities keep their generated draws (same RNG stream), only the
+    // replica range is overridden — total pods = num_jobs × pods_per_job.
+    for (auto& job : mix) {
+      job.spec.min_replicas = spec.pods_per_job;
+      job.spec.max_replicas = spec.pods_per_job;
+    }
+  }
+  return mix;
 }
 
 std::unique_ptr<ExperimentBackend> make_backend(

@@ -185,6 +185,29 @@ ScenarioRegistry::ScenarioRegistry() {
   fault_lb.policies = {PolicyMode::kElastic};
   fault_lb.repeats = 20;
   add(fault_lb);
+
+  // Beyond-paper: the cluster substrate at production scale. Wide rigid
+  // jobs (pods_per_job forces min=max) on an O(1000)-node emulated cluster
+  // exercise the indexed store/scheduler path; nodes= and pods_per_job= are
+  // the scale knobs (bench_fig_k8s_scale sweeps them to 10k nodes / 100k
+  // pods). Analytic workloads: the point is control-plane cost, not
+  // application calibration, and scale runs must not depend on minicharm.
+  ScenarioSpec scale;
+  scale.name = "k8s_scale";
+  scale.description =
+      "Cluster substrate at scale: wide rigid jobs on a large emulated "
+      "cluster (scale knobs: nodes=, pods_per_job=, num_jobs=)";
+  scale.substrate = Substrate::kCluster;
+  scale.nodes = 1000;
+  scale.cpus_per_node = 16;
+  scale.num_jobs = 100;
+  scale.pods_per_job = 100;
+  scale.submission_gap_s = 10.0;
+  scale.calibrated = false;
+  scale.rescale_gap_s = 300.0;
+  scale.policies = {PolicyMode::kRigidMin};
+  scale.repeats = 1;
+  add(scale);
 }
 
 std::vector<std::string> scenario_config_keys() {

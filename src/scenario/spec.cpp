@@ -131,6 +131,7 @@ void ScenarioSpec::validate() const {
   if (nodes <= 0) fail("nodes must be positive");
   if (cpus_per_node <= 0) fail("cpus_per_node must be positive");
   if (num_jobs <= 0) fail("num_jobs must be positive");
+  if (pods_per_job < 0) fail("pods_per_job must be non-negative");
   if (submission_gap_s < 0.0) fail("submission_gap must be non-negative");
   if (rescale_gap_s < 0.0) fail("rescale_gap must be non-negative");
   if (repeats <= 0) fail("repeats must be positive");
@@ -188,6 +189,7 @@ void ScenarioSpec::validate() const {
 const std::vector<std::string>& spec_config_keys() {
   static const std::vector<std::string> kKeys{
       "substrate",      "nodes",      "cpus_per_node", "num_jobs",
+      "pods_per_job",
       "submission_gap", "rescale_gap", "calibrated",   "policies",
       "app",            "refine_rate", "lb_strategy",
       "fault_times",    "fault_mtbf", "evict_times",   "straggler_at",
@@ -203,6 +205,8 @@ std::string spec_config_help() {
       "  nodes=4                 emulated cluster nodes\n"
       "  cpus_per_node=16        vCPUs per node\n"
       "  num_jobs=16             jobs per random mix\n"
+      "  pods_per_job=0          force rigid job width (min=max replicas);\n"
+      "                          0 keeps class-driven widths\n"
       "  submission_gap=90       seconds between submissions\n"
       "  rescale_gap=180         T_rescale_gap in seconds\n"
       "  calibrated=true         minicharm-calibrated step-time curves\n"
@@ -233,6 +237,7 @@ ScenarioSpec spec_from_config(const Config& cfg, ScenarioSpec base) {
   spec.nodes = cfg.get_int("nodes", spec.nodes);
   spec.cpus_per_node = cfg.get_int("cpus_per_node", spec.cpus_per_node);
   spec.num_jobs = cfg.get_int("num_jobs", spec.num_jobs);
+  spec.pods_per_job = cfg.get_int("pods_per_job", spec.pods_per_job);
   spec.submission_gap_s = cfg.get_double("submission_gap", spec.submission_gap_s);
   spec.rescale_gap_s = cfg.get_double("rescale_gap", spec.rescale_gap_s);
   spec.calibrated = cfg.get_bool("calibrated", spec.calibrated);
@@ -268,6 +273,9 @@ std::string describe(const ScenarioSpec& spec) {
   out += " nodes=" + std::to_string(spec.nodes);
   out += " cpus_per_node=" + std::to_string(spec.cpus_per_node);
   out += " num_jobs=" + std::to_string(spec.num_jobs);
+  if (spec.pods_per_job > 0) {
+    out += " pods_per_job=" + std::to_string(spec.pods_per_job);
+  }
   out += " submission_gap=" + format_double(spec.submission_gap_s, 0);
   out += " rescale_gap=" + format_double(spec.rescale_gap_s, 0);
   out += std::string(" calibrated=") + (spec.calibrated ? "true" : "false");

@@ -65,6 +65,11 @@ struct ScenarioSpec {
   int num_jobs = 16;
   double submission_gap_s = 90.0;
   bool calibrated = true;
+  /// When positive, every generated job is forced rigid at this width
+  /// (min_replicas = max_replicas = pods_per_job). The scale knob of the
+  /// `k8s_scale` scenario: total pod count = num_jobs × pods_per_job,
+  /// independent of the class-driven widths. 0 keeps the class widths.
+  int pods_per_job = 0;
 
   // Which application the workload models are calibrated from: "jacobi"
   // (the paper's regular stencil) or "amr" (the irregular adaptive-mesh

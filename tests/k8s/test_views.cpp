@@ -1,0 +1,284 @@
+// ClusterIndex property battery: drive the node/pod stores through a long
+// randomized mutation sequence and, after every operation, check each
+// indexed query against a brute-force reference computed from the stores —
+// including `best_node` against a literal reimplementation of the historical
+// O(nodes × pods) placement scan whose semantics the index must match bit
+// for bit.
+
+#include "k8s/views.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "k8s/api.hpp"
+#include "k8s/store.hpp"
+
+namespace ehpc::k8s {
+namespace {
+
+bool claims_resources(const Pod& pod) {
+  return pod.phase != PodPhase::kSucceeded && pod.phase != PodPhase::kFailed;
+}
+
+/// The historical scheduler scan, verbatim: walk every node in name order,
+/// recompute its allocation from every pod, score, keep the first strict
+/// maximum.
+std::string reference_best_node(const ObjectStore<Node>& nodes,
+                                const ObjectStore<Pod>& pods, const Pod& pod,
+                                bool prefer_packed, double affinity_weight) {
+  std::string best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const Node* node : nodes.list()) {
+    if (!node->ready) continue;
+    Resources used;
+    for (const Pod* p : pods.list()) {
+      if (p->node_name == node->meta.name && claims_resources(*p)) {
+        used = used + p->request;
+      }
+    }
+    if (!(used + pod.request).fits_within(node->capacity)) continue;
+    const double ratio =
+        node->capacity.cpus > 0
+            ? static_cast<double>(used.cpus) / node->capacity.cpus
+            : 0.0;
+    double score = prefer_packed ? ratio : -ratio;
+    if (!pod.affinity_key.empty()) {
+      int count = 0;
+      for (const Pod* p : pods.list()) {
+        auto it = p->meta.labels.find(pod.affinity_key);
+        if (p->node_name == node->meta.name && it != p->meta.labels.end() &&
+            it->second == pod.affinity_value) {
+          ++count;
+        }
+      }
+      score += affinity_weight * count /
+               std::max(1, node->capacity.cpus);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = node->meta.name;
+    }
+  }
+  return best;
+}
+
+struct Battery {
+  ObjectStore<Node> nodes;
+  ObjectStore<Pod> pods;
+
+  void check(const ClusterIndex& index) const {
+    int total = 0, used = 0, bound = 0;
+    for (const Node* node : nodes.list()) {
+      if (node->ready) total += node->capacity.cpus;
+    }
+    for (const Pod* pod : pods.list()) {
+      if (!claims_resources(*pod)) continue;
+      used += pod->request.cpus;
+      if (!pod->node_name.empty()) bound += pod->request.cpus;
+    }
+    ASSERT_EQ(index.total_cpus(), total);
+    ASSERT_EQ(index.used_cpus(), used);
+    ASSERT_EQ(index.bound_cpus(), bound);
+
+    for (const Node* node : nodes.list()) {
+      Resources expect;
+      int colocated = 0;
+      for (const Pod* pod : pods.list()) {
+        if (pod->node_name != node->meta.name) continue;
+        if (claims_resources(*pod)) expect = expect + pod->request;
+        auto it = pod->meta.labels.find("job");
+        if (it != pod->meta.labels.end() && it->second == "job-1") ++colocated;
+      }
+      const Resources got = index.used_on(node->meta.name);
+      ASSERT_EQ(got.cpus, expect.cpus) << node->meta.name;
+      ASSERT_EQ(got.memory_mib, expect.memory_mib) << node->meta.name;
+      ASSERT_EQ(index.colocated(node->meta.name, "job", "job-1"), colocated)
+          << node->meta.name;
+    }
+
+    for (const PodPhase phase :
+         {PodPhase::kPending, PodPhase::kScheduled, PodPhase::kRunning,
+          PodPhase::kSucceeded, PodPhase::kFailed, PodPhase::kTerminating}) {
+      std::set<std::string> expect;
+      for (const Pod* pod : pods.list()) {
+        if (pod->phase == phase) expect.insert(pod->meta.name);
+      }
+      ASSERT_EQ(index.pods_in_phase(phase), expect) << to_string(phase);
+    }
+
+    for (int j = 0; j < 3; ++j) {
+      const std::string value = "job-" + std::to_string(j);
+      std::set<std::string> expect;
+      for (const Pod* pod : pods.list()) {
+        auto it = pod->meta.labels.find("job");
+        if (it != pod->meta.labels.end() && it->second == value) {
+          expect.insert(pod->meta.name);
+        }
+      }
+      ASSERT_EQ(index.pods_with_label("job", value), expect) << value;
+    }
+  }
+
+  void check_placement(const ClusterIndex& index, Rng& rng) const {
+    Pod probe;
+    probe.meta.name = "probe";
+    probe.request = {static_cast<int>(rng.uniform_int(0, 3)), 256};
+    for (const bool with_affinity : {false, true}) {
+      if (with_affinity) {
+        probe.affinity_key = "job";
+        probe.affinity_value = "job-" + std::to_string(rng.uniform_int(0, 2));
+      }
+      for (const bool packed : {false, true}) {
+        ASSERT_EQ(index.best_node(probe, packed, 0.5),
+                  reference_best_node(nodes, pods, probe, packed, 0.5))
+            << "packed=" << packed << " affinity=" << with_affinity
+            << " cpus=" << probe.request.cpus;
+      }
+    }
+  }
+};
+
+TEST(ClusterIndex, MatchesBruteForceUnderRandomMutations) {
+  Battery b;
+  ClusterIndex index(b.nodes, b.pods);
+  Rng rng(20250807);
+  int pod_counter = 0;
+
+  for (int step = 0; step < 600; ++step) {
+    const int op = static_cast<int>(rng.uniform_int(0, 9));
+    const auto node_names = b.nodes.list();
+    const auto pod_names = b.pods.list();
+    switch (op) {
+      case 0: {  // add a node
+        Node node;
+        node.meta.name = "node-" + std::to_string(rng.uniform_int(0, 11));
+        if (b.nodes.contains(node.meta.name)) break;
+        node.capacity = {static_cast<int>(rng.uniform_int(2, 8)), 4096};
+        node.ready = rng.uniform_int(0, 3) > 0;
+        b.nodes.add(node);
+        break;
+      }
+      case 1: {  // flip readiness
+        if (node_names.empty()) break;
+        const std::string name =
+            node_names[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(node_names.size()) - 1))]->meta.name;
+        b.nodes.mutate(name, [](Node& n) { n.ready = !n.ready; });
+        break;
+      }
+      case 2: {  // remove a node (pods bound to it become orphans)
+        if (node_names.empty()) break;
+        b.nodes.remove(
+            node_names[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(node_names.size()) - 1))]->meta.name);
+        break;
+      }
+      case 3:
+      case 4: {  // create a pod, sometimes labeled/affine
+        Pod pod;
+        pod.meta.name = "pod-" + std::to_string(pod_counter++);
+        pod.request = {static_cast<int>(rng.uniform_int(0, 3)), 256};
+        if (rng.uniform_int(0, 2) > 0) {
+          pod.meta.labels["job"] =
+              "job-" + std::to_string(rng.uniform_int(0, 2));
+        }
+        b.pods.add(pod);
+        break;
+      }
+      case 5:
+      case 6: {  // bind a pending pod to a random (possibly absent) node
+        if (pod_names.empty()) break;
+        const Pod* pod =
+            pod_names[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(pod_names.size()) - 1))];
+        if (!pod->node_name.empty()) break;
+        const std::string target =
+            "node-" + std::to_string(rng.uniform_int(0, 11));
+        b.pods.mutate(pod->meta.name, [&](Pod& p) {
+          p.node_name = target;
+          p.phase = PodPhase::kScheduled;
+        });
+        break;
+      }
+      case 7: {  // advance a pod's phase
+        if (pod_names.empty()) break;
+        const std::string name =
+            pod_names[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(pod_names.size()) - 1))]->meta.name;
+        const auto phase = static_cast<PodPhase>(rng.uniform_int(0, 5));
+        b.pods.mutate(name, [&](Pod& p) { p.phase = phase; });
+        break;
+      }
+      case 8: {  // delete a pod
+        if (pod_names.empty()) break;
+        b.pods.remove(
+            pod_names[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(pod_names.size()) - 1))]->meta.name);
+        break;
+      }
+      default: {  // update a node's capacity wholesale
+        if (node_names.empty()) break;
+        Node node = *node_names[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(node_names.size()) - 1))];
+        node.capacity.cpus = static_cast<int>(rng.uniform_int(2, 8));
+        b.nodes.update(node);
+        break;
+      }
+    }
+    ASSERT_NO_FATAL_FAILURE(b.check(index)) << "step " << step;
+    ASSERT_NO_FATAL_FAILURE(b.check_placement(index, rng)) << "step " << step;
+  }
+  // The battery must actually have exercised placement.
+  EXPECT_GT(index.stats().placement_queries, 0);
+}
+
+TEST(ClusterIndex, BootstrapsFromNonEmptyStores) {
+  Battery b;
+  Node node;
+  node.meta.name = "node-0";
+  node.capacity = {16, 32768};
+  node.ready = true;
+  b.nodes.add(node);
+  Pod pod;
+  pod.meta.name = "pod-0";
+  pod.request = {4, 1024};
+  pod.node_name = "node-0";
+  pod.phase = PodPhase::kRunning;
+  pod.meta.labels["job"] = "job-1";
+  b.pods.add(pod);
+
+  ClusterIndex index(b.nodes, b.pods);
+  EXPECT_EQ(index.total_cpus(), 16);
+  EXPECT_EQ(index.used_cpus(), 4);
+  EXPECT_EQ(index.bound_cpus(), 4);
+  EXPECT_EQ(index.used_on("node-0").cpus, 4);
+  EXPECT_EQ(index.colocated("node-0", "job", "job-1"), 1);
+  b.check(index);
+}
+
+TEST(ClusterIndex, PlacementCostIsSubLinearInNodes) {
+  // 1 pending pod on N idle nodes: the bucket walk touches one node, not N.
+  Battery b;
+  for (int i = 0; i < 1000; ++i) {
+    Node node;
+    node.meta.name = "node-" + std::to_string(i);
+    node.capacity = {16, 32768};
+    node.ready = true;
+    b.nodes.add(node);
+  }
+  ClusterIndex index(b.nodes, b.pods);
+  Pod probe;
+  probe.meta.name = "probe";
+  probe.request = {1, 256};
+  EXPECT_FALSE(index.best_node(probe, true, 0.5).empty());
+  EXPECT_EQ(index.stats().placement_queries, 1);
+  EXPECT_EQ(index.stats().nodes_examined, 1);
+}
+
+}  // namespace
+}  // namespace ehpc::k8s

@@ -1,0 +1,79 @@
+// The k8s_scale registry scenario: a shrunken version of the scale shape
+// (wide rigid jobs on a many-node cluster) must run end to end, honor the
+// pods_per_job override, and stay bit-identical across sweep thread counts —
+// this is the batched-watch-delivery path under the TSan lane.
+
+#include <gtest/gtest.h>
+
+#include "expect_identical.hpp"
+#include "scenario/backend.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
+
+namespace ehpc::scenario {
+namespace {
+
+/// The registry entry, shrunk to test size but keeping the scale shape:
+/// every job forced rigid at pods_per_job width on a wide cluster.
+ScenarioSpec small_scale_spec() {
+  ScenarioSpec spec = ScenarioRegistry::instance().require("k8s_scale");
+  spec.nodes = 50;
+  spec.num_jobs = 8;
+  spec.pods_per_job = 12;
+  spec.submission_gap_s = 30.0;
+  spec.repeats = 2;
+  spec.validate();
+  return spec;
+}
+
+TEST(K8sScaleScenario, RegistryEntryIsWellFormed) {
+  const ScenarioSpec& spec = ScenarioRegistry::instance().require("k8s_scale");
+  EXPECT_EQ(spec.substrate, Substrate::kCluster);
+  EXPECT_GE(spec.nodes, 1000);
+  EXPECT_GT(spec.pods_per_job, 0);
+  EXPECT_FALSE(spec.calibrated);  // scale runs must not need minicharm
+  spec.validate();
+}
+
+TEST(K8sScaleScenario, PodsPerJobForcesRigidWidths) {
+  const ScenarioSpec spec = small_scale_spec();
+  const auto mix = make_mix(spec, spec.seed);
+  ASSERT_EQ(mix.size(), 8u);
+  for (const auto& job : mix) {
+    EXPECT_EQ(job.spec.min_replicas, 12);
+    EXPECT_EQ(job.spec.max_replicas, 12);
+  }
+  // The override only pins widths: classes/priorities keep the generated
+  // draws, so two jobs somewhere in the mix should still differ.
+  bool priorities_differ = false;
+  for (const auto& job : mix) {
+    priorities_differ |= job.spec.priority != mix.front().spec.priority;
+  }
+  EXPECT_TRUE(priorities_differ);
+}
+
+TEST(K8sScaleScenario, RunsEndToEndAndFillsTheCluster) {
+  ScenarioSpec spec = small_scale_spec();
+  spec.repeats = 1;
+  const auto workloads = workloads_for(spec);
+  const auto policy = policy_for(spec, spec.policies.front());
+  const auto mix = make_mix(spec, spec.seed);
+  const auto result = make_backend(spec, policy, workloads)->run(mix);
+  // 8 rigid jobs × 12 workers on 800 slots: everything runs to completion.
+  EXPECT_EQ(result.jobs.size(), 8u);
+  EXPECT_GT(result.metrics.utilization, 0.0);
+  EXPECT_GT(result.metrics.total_time_s, 0.0);
+}
+
+TEST(K8sScaleScenario, BitIdenticalAcrossSweepThreadCounts) {
+  const ScenarioSpec spec = small_scale_spec();
+  const auto serial = compare_policies(spec, 1);
+  const auto parallel = compare_policies(spec, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (const auto& [mode, metrics] : serial) {
+    expect_identical(metrics, parallel.at(mode), to_string(mode));
+  }
+}
+
+}  // namespace
+}  // namespace ehpc::scenario

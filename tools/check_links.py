@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Check relative markdown links (and their #anchors) in the repo docs.
+
+Usage:
+  tools/check_links.py [FILE.md ...]
+
+With no arguments, checks the repo's documentation set: README.md,
+ROADMAP.md, PAPER.md, CHANGES.md and docs/*.md. For every markdown link
+`[text](target)` in the checked files it verifies that
+
+  - a relative path target exists (relative to the linking file);
+  - a `#fragment` on a markdown target matches a heading in that file,
+    using GitHub's slugification (lowercase, spaces to dashes, punctuation
+    stripped);
+  - a bare `#fragment` matches a heading in the linking file itself.
+
+Absolute URLs (http/https/mailto) are not fetched — CI must not depend on
+external availability. Exit code 0 = all links resolve, 1 = broken links
+(one `file: detail` line each), 2 = a named input file is missing.
+
+Stdlib only; no installs.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())     # drop code ticks
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)    # links -> text
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)                    # strip punctuation
+    return text.replace(" ", "-")
+
+
+def markdown_lines(path: Path):
+    """Lines of `path` with fenced code blocks blanked out."""
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            yield ""
+        else:
+            yield "" if in_fence else line
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    counts = {}
+    for line in markdown_lines(path):
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    for lineno, line in enumerate(markdown_lines(path), start=1):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            ref, _, fragment = target.partition("#")
+            if ref:
+                dest = (path.parent / ref).resolve()
+                if not dest.exists():
+                    errors.append(f"{path}:{lineno}: broken link "
+                                  f"'{target}' ({ref} does not exist)")
+                    continue
+            else:
+                dest = path
+            if fragment and dest.suffix == ".md":
+                if fragment not in anchors_of(dest):
+                    errors.append(f"{path}:{lineno}: broken anchor "
+                                  f"'{target}' (no heading "
+                                  f"'#{fragment}' in {dest.name})")
+    return errors
+
+
+def main(argv: list) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(a) for a in argv]
+        for f in files:
+            if not f.is_file():
+                print(f"error: no such file: {f}", file=sys.stderr)
+                return 2
+    else:
+        files = sorted(
+            p for p in [root / "README.md", root / "ROADMAP.md",
+                        root / "PAPER.md", root / "CHANGES.md",
+                        *(root / "docs").glob("*.md")] if p.is_file())
+
+    errors = []
+    for f in files:
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL, ' + str(len(errors)) + ' broken link(s)' if errors else 'all links OK'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
