@@ -55,10 +55,14 @@ void run(bench::Reporter& rep, const Config& cfg) {
            format_double(pt.metrics.at(PolicyMode::kRigidMax).*member, 3)});
     }
   }
-  rep.note("(" + std::to_string(spec.repeats) + " random mixes per point, seed " +
-           std::to_string(spec.seed) + ", " +
-           (spec.calibrated ? "minicharm-calibrated" : "analytic") +
-           " step-time curves)");
+  std::string note = "(";
+  note += std::to_string(spec.repeats);
+  note += " random mixes per point, seed ";
+  note += std::to_string(spec.seed);
+  note += ", ";
+  note += spec.calibrated ? "minicharm-calibrated" : "analytic";
+  note += " step-time curves)";
+  rep.note(note);
 }
 
 const bench::RegisterBench kReg{{

@@ -62,10 +62,12 @@ void run(bench::Reporter& rep, const Config& cfg) {
            format_double(pt.metrics.at(PolicyMode::kRigidMax).*member, 3)});
     }
   }
-  rep.note("(" + std::to_string(spec.repeats) +
-           " random mixes per point, submission gap " +
-           format_double(spec.submission_gap_s, 0) +
-           " s; elastic -> moldable as the gap grows)");
+  std::string note = "(";
+  note += std::to_string(spec.repeats);
+  note += " random mixes per point, submission gap ";
+  note += format_double(spec.submission_gap_s, 0);
+  note += " s; elastic -> moldable as the gap grows)";
+  rep.note(note);
 }
 
 const bench::RegisterBench kReg{{

@@ -102,9 +102,12 @@ void run(bench::Reporter& rep, const Config& cfg) {
          format_double(m.lb_migrations_per_step, 2)});
   }
 
-  rep.note("(" + std::to_string(repeats) + " random mixes per point, seed " +
-           std::to_string(seed) +
-           "; AMR workloads are minicharm-calibrated per sweep point)");
+  std::string note = "(";
+  note += std::to_string(repeats);
+  note += " random mixes per point, seed ";
+  note += std::to_string(seed);
+  note += "; AMR workloads are minicharm-calibrated per sweep point)";
+  rep.note(note);
 }
 
 const bench::RegisterBench kReg{{

@@ -151,10 +151,13 @@ void run(bench::Reporter& rep, const Config& cfg) {
          format_double(m.lb_post_ratio, 3)});
   }
 
-  rep.note("(" + std::to_string(repeats) + " random mixes per point, seed " +
-           std::to_string(seed) +
-           "; fault plans are deterministic, so both substrates replay the "
-           "identical failure sequence)");
+  std::string note = "(";
+  note += std::to_string(repeats);
+  note += " random mixes per point, seed ";
+  note += std::to_string(seed);
+  note += "; fault plans are deterministic, so both substrates replay the "
+          "identical failure sequence)";
+  rep.note(note);
 }
 
 const bench::RegisterBench kReg{{

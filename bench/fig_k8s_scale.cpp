@@ -99,16 +99,22 @@ void run(bench::Reporter& rep, const Config& cfg) {
                    format_double(result.metrics.utilization, 3),
                    format_double(result.metrics.total_time_s, 1)});
 
-    timing += " " + std::to_string(point.nodes) + "n/" +
-              std::to_string(pods) + "p=" + format_double(wall_ms, 0) +
-              "ms (" +
-              format_double(1000.0 * pods / std::max(wall_ms, 1e-9), 0) +
-              " pods/s)";
+    timing += " ";
+    timing += std::to_string(point.nodes);
+    timing += "n/";
+    timing += std::to_string(pods);
+    timing += "p=";
+    timing += format_double(wall_ms, 0);
+    timing += "ms (";
+    timing += format_double(1000.0 * pods / std::max(wall_ms, 1e-9), 0);
+    timing += " pods/s)";
   }
   rep.note(timing);
-  rep.note("(seed " + std::to_string(seed) +
-           "; counter cells are virtual-time deterministic — wall clock is "
-           "reported only in the note above and via the bench wall_ms)");
+  std::string note = "(seed ";
+  note += std::to_string(seed);
+  note += "; counter cells are virtual-time deterministic — wall clock is "
+          "reported only in the note above and via the bench wall_ms)";
+  rep.note(note);
 }
 
 const bench::RegisterBench kReg{{

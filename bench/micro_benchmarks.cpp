@@ -13,7 +13,10 @@
 #include "common/rng.hpp"
 #include "elastic/policy.hpp"
 #include "k8s/cluster.hpp"
+#include "schedsim/calibrate.hpp"
+#include "schedsim/simulator.hpp"
 #include "sim/simulation.hpp"
+#include "trace/sources.hpp"
 
 namespace {
 
@@ -263,5 +266,31 @@ void BM_PolicyEngineSubmitComplete(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_PolicyEngineSubmitComplete)->Arg(16)->Arg(128);
+
+// End-to-end streaming replay hot path: N synthetic jobs with prun-style
+// queue/task timeouts pulled lazily through SchedSimulator::run_stream,
+// each finished job retiring to O(1) summaries (the loop bench_fig_trace
+// scales to 1M jobs). Items = jobs replayed; the perf gate floors
+// items_per_second.
+void BM_TraceReplay(benchmark::State& state) {
+  const long jobs = state.range(0);
+  const auto workloads = schedsim::analytic_workloads();
+  elastic::PolicyConfig cfg;
+  cfg.mode = elastic::PolicyMode::kElastic;
+  cfg.rescale_gap_s = 180.0;
+  for (auto _ : state) {
+    trace::SyntheticTraceConfig trace_cfg;
+    trace_cfg.num_jobs = jobs;
+    trace_cfg.submission_gap_s = 60.0;
+    trace_cfg.seed = 2025;
+    trace_cfg.defaults.queue_timeout_s = 3600.0;
+    trace_cfg.defaults.task_timeout_s = 900.0;
+    trace::SyntheticTraceSource source(trace_cfg);
+    schedsim::SchedSimulator simulator(64, cfg, workloads);
+    benchmark::DoNotOptimize(simulator.run_stream(source));
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_TraceReplay)->Arg(1000)->Arg(10000);
 
 }  // namespace

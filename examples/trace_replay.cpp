@@ -1,16 +1,20 @@
 // Replay a job trace under the scenario's policies and compare the paper's
-// four metrics. The trace is either generated from the scenario's job-mix
-// parameters or read from a CSV file with lines: id,class,priority,submit_time
-// where class is one of small|medium|large|xlarge.
+// four metrics. With any trace key set (trace=, trace_jobs=, cron_period=)
+// the replay streams through the bounded-memory trace engine: submissions
+// are pulled lazily from the TraceSource and finished jobs retire to
+// summaries, so a CSV or synthetic trace of any length replays in memory
+// proportional to in-flight jobs. Without trace keys the scenario's
+// generated job mix runs on the batch path, as before.
 //
-// Usage: trace_replay [scenario=NAME] [seed=2025] [num_jobs=16]
-//                     [submission_gap=90] [rescale_gap=180]
-//                     [substrate=schedsim|cluster] [trace=path.csv] ...
+// Usage: trace_replay [scenario=NAME] [trace=path.csv] [trace_jobs=N]
+//                     [cron_period=S] [queue_timeout=S] [task_timeout=S]
+//                     [substrate=schedsim|cluster] [key=value ...]
 // Any scenario key works as an override (see usage text on bad flags).
+// CSV lines are: id,class,priority,submit_time[,queue_timeout[,task_timeout
+// [,max_failed_nodes]]] with class one of small|medium|large|xlarge;
+// malformed lines are hard errors naming the line number.
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "common/table.hpp"
 #include "scenario/registry.hpp"
@@ -19,50 +23,11 @@
 using namespace ehpc;
 using elastic::PolicyMode;
 
-namespace {
-
-elastic::JobClass class_from_string(const std::string& s) {
-  if (s == "small") return elastic::JobClass::kSmall;
-  if (s == "medium") return elastic::JobClass::kMedium;
-  if (s == "large") return elastic::JobClass::kLarge;
-  if (s == "xlarge") return elastic::JobClass::kXLarge;
-  throw PreconditionError("unknown job class in trace: " + s);
-}
-
-std::vector<schedsim::SubmittedJob> load_trace(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw PreconditionError("cannot open trace file: " + path);
-  std::vector<schedsim::SubmittedJob> out;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string id_s, cls_s, prio_s, t_s;
-    if (!std::getline(ls, id_s, ',') || !std::getline(ls, cls_s, ',') ||
-        !std::getline(ls, prio_s, ',') || !std::getline(ls, t_s, ',')) {
-      throw PreconditionError("malformed trace line: " + line);
-    }
-    schedsim::SubmittedJob job;
-    const auto cls = class_from_string(cls_s);
-    job.spec = elastic::spec_for_class(cls, std::atoi(id_s.c_str()),
-                                       std::atoi(prio_s.c_str()));
-    job.job_class = cls;
-    job.submit_time = std::atof(t_s.c_str());
-    out.push_back(job);
-  }
-  if (out.empty()) throw PreconditionError("trace file has no jobs: " + path);
-  return out;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   scenario::ScenarioSpec spec;
-  Config cfg;
   try {
-    std::vector<std::string> keys = scenario::scenario_config_keys();
-    keys.push_back("trace");
-    cfg = Config::from_args(argc, argv, keys);
+    const Config cfg =
+        Config::from_args(argc, argv, scenario::scenario_config_keys());
     spec = scenario::resolve_scenario(cfg);
   } catch (const ConfigError& err) {
     std::cerr << "error: " << err.what() << "\n"
@@ -72,36 +37,48 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<schedsim::SubmittedJob> mix;
-  if (auto trace = cfg.get("trace")) {
-    // The file supplies the mix; mix-generation keys would be silently
-    // inert, so reject the combination.
-    for (const char* key : {"num_jobs", "submission_gap", "seed"}) {
-      if (cfg.has(key)) {
-        std::cerr << "error: '" << key
-                  << "' has no effect when trace= supplies the job mix\n";
-        return 2;
+  try {
+    if (spec.is_trace()) {
+      std::cout << "Streaming trace replay (" << scenario::describe(spec)
+                << ")\n\n";
+      const auto results = scenario::run_policies_stream(spec, spec.seed);
+      Table table({"scheduler", "jobs", "peak_live", "abandoned", "timed_out",
+                   "resp_p50", "resp_p99", "utilization", "total_s"});
+      for (const PolicyMode mode : spec.policies) {
+        const auto& result = results.at(mode);
+        const auto& m = result.metrics;
+        table.add_row({elastic::to_string(mode),
+                       std::to_string(result.stream.jobs_submitted),
+                       std::to_string(result.stream.peak_live_jobs),
+                       std::to_string(static_cast<long>(m.jobs_abandoned)),
+                       std::to_string(static_cast<long>(m.jobs_timed_out)),
+                       format_double(result.stream.response_p50, 1),
+                       format_double(result.stream.response_p99, 1),
+                       format_double(m.utilization, 4),
+                       format_double(m.total_time_s, 1)});
       }
+      std::cout << table.to_text();
+      return 0;
     }
-    mix = load_trace(*trace);
-    std::cout << "Replaying " << mix.size() << " jobs from " << *trace << "\n\n";
-  } else {
-    mix = scenario::make_mix(spec, spec.seed);
-    std::cout << "Replaying a generated mix of " << mix.size() << " jobs\n\n";
-  }
 
-  const auto results = scenario::run_policies(spec, mix);
-  Table table({"scheduler", "total_s", "utilization", "response_s",
-               "completion_s", "rescales"});
-  for (const PolicyMode mode : spec.policies) {
-    const auto& result = results.at(mode);
-    table.add_row({elastic::to_string(mode),
-                   format_double(result.metrics.total_time_s, 1),
-                   format_double(result.metrics.utilization, 4),
-                   format_double(result.metrics.weighted_response_s, 2),
-                   format_double(result.metrics.weighted_completion_s, 2),
-                   std::to_string(result.rescale_count)});
+    const auto mix = scenario::make_mix(spec, spec.seed);
+    std::cout << "Replaying a generated mix of " << mix.size() << " jobs\n\n";
+    const auto results = scenario::run_policies(spec, mix);
+    Table table({"scheduler", "total_s", "utilization", "response_s",
+                 "completion_s", "rescales"});
+    for (const PolicyMode mode : spec.policies) {
+      const auto& result = results.at(mode);
+      table.add_row({elastic::to_string(mode),
+                     format_double(result.metrics.total_time_s, 1),
+                     format_double(result.metrics.utilization, 4),
+                     format_double(result.metrics.weighted_response_s, 2),
+                     format_double(result.metrics.weighted_completion_s, 2),
+                     std::to_string(result.rescale_count)});
+    }
+    std::cout << table.to_text();
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
   }
-  std::cout << table.to_text();
   return 0;
 }

@@ -62,19 +62,94 @@ double WeightedMean::value() const {
   return weight_sum_ > 0.0 ? weighted_sum_ / weight_sum_ : 0.0;
 }
 
-double percentile(std::vector<double> samples, double q) {
-  EHPC_EXPECTS(q >= 0.0 && q <= 1.0);
-  EHPC_EXPECTS(!samples.empty());
-  std::sort(samples.begin(), samples.end());
-  if (samples.size() == 1) return samples.front();
-  const double pos = q * static_cast<double>(samples.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+P2Quantile::P2Quantile(double q) : q_(q) {
+  EHPC_EXPECTS(q > 0.0 && q < 1.0);
 }
 
-double mean_of(const std::vector<double>& samples) {
+double P2Quantile::parabolic(int i, double d) const {
+  const double num1 = pos_[i] - pos_[i - 1] + d;
+  const double num2 = pos_[i + 1] - pos_[i] - d;
+  return heights_[i] +
+         d / (pos_[i + 1] - pos_[i - 1]) *
+             (num1 * (heights_[i + 1] - heights_[i]) /
+                  (pos_[i + 1] - pos_[i]) +
+              num2 * (heights_[i] - heights_[i - 1]) /
+                  (pos_[i] - pos_[i - 1]));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] +
+         d * (heights_[j] - heights_[i]) / (pos_[j] - pos_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+      desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+      increment_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+    }
+    return;
+  }
+  ++n_;
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increment_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double step = d >= 0.0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, step);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, step);
+      }
+      pos_[i] += step;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact below five samples: interpolate the sorted prefix.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(n_));
+    return percentile(std::span<const double>(sorted.data(), n_), q_);
+  }
+  return heights_[2];
+}
+
+double percentile(std::span<const double> samples, double q) {
+  EHPC_EXPECTS(q >= 0.0 && q <= 1.0);
+  EHPC_EXPECTS(!samples.empty());
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> samples) {
   EHPC_EXPECTS(!samples.empty());
   double sum = 0.0;
   for (double s : samples) sum += s;

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace ehpc {
@@ -47,15 +49,53 @@ class WeightedMean {
   std::size_t n_ = 0;
 };
 
-/// Percentile of a sample set via linear interpolation between order
-/// statistics. `q` is in [0, 1]. The input is copied and sorted.
-double percentile(std::vector<double> samples, double q);
+/// Online quantile estimator (Jain & Chlamtac's P² algorithm): tracks a
+/// single quantile in O(1) memory with five markers. Exact for the first
+/// five samples; after that the marker heights follow the empirical
+/// quantile with a piecewise-parabolic adjustment. Accuracy degrades for
+/// tail quantiles of heavy-tailed inputs — the trace bench reports both the
+/// online and the exact value so the drift stays visible.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.5 for the median, 0.99 for p99.
+  explicit P2Quantile(double q);
 
-/// Mean of a sample vector. Like `percentile`, an empty input is a
+  void add(double x);
+  std::size_t count() const { return n_; }
+  /// Current estimate; 0 before any sample arrives.
+  double value() const;
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  std::size_t n_ = 0;
+  std::array<double, 5> heights_{};   // marker heights (sorted)
+  std::array<double, 5> pos_{};       // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increment_{}; // desired-position increments
+};
+
+/// Percentile of a sample set via linear interpolation between order
+/// statistics. `q` is in [0, 1]. The input is not modified (an internal
+/// copy is sorted).
+double percentile(std::span<const double> samples, double q);
+
+/// Mean of a sample set. Like `percentile`, an empty input is a
 /// precondition violation: callers that can legitimately see empty sample
 /// sets must handle that case explicitly rather than silently folding a
 /// spurious 0 into downstream aggregates.
-double mean_of(const std::vector<double>& samples);
+double mean_of(std::span<const double> samples);
+
+// Braced-list conveniences (a braced list does not convert to std::span).
+inline double percentile(std::initializer_list<double> samples, double q) {
+  return percentile(std::span<const double>(samples.begin(), samples.size()),
+                    q);
+}
+inline double mean_of(std::initializer_list<double> samples) {
+  return mean_of(std::span<const double>(samples.begin(), samples.size()));
+}
 
 /// Time-weighted average of a step function given as (timestamp, value)
 /// breakpoints: the function holds `value[i]` on [t[i], t[i+1]). The final

@@ -11,22 +11,75 @@ MetricsCollector::MetricsCollector(int total_slots) : total_slots_(total_slots) 
   EHPC_EXPECTS(total_slots_ > 0);
 }
 
+void MetricsCollector::enable_streaming() {
+  EHPC_EXPECTS(jobs_.empty() && usage_.empty() && n_jobs_ == 0 && !have_usage_);
+  streaming_ = true;
+}
+
+void MetricsCollector::note_submit(double t) {
+  if (!streaming_) return;
+  if (!have_first_submit_ || t < first_submit_) {
+    first_submit_ = t;
+    have_first_submit_ = true;
+  }
+}
+
 void MetricsCollector::add_job(const JobRecord& record) {
   EHPC_EXPECTS(record.start_time >= record.submit_time);
   EHPC_EXPECTS(record.complete_time >= record.start_time);
-  jobs_.push_back(record);
+  if (!streaming_) {
+    jobs_.push_back(record);
+    return;
+  }
+  note_submit(record.submit_time);
+  last_complete_ =
+      n_jobs_ == 0 ? record.complete_time
+                   : std::max(last_complete_, record.complete_time);
+  ++n_jobs_;
+  response_.add(record.response_time(), static_cast<double>(record.priority));
+  completion_.add(record.completion_time(),
+                  static_cast<double>(record.priority));
+  if (record.failed) ++failed_count_;
+  if (record.abandoned) ++abandoned_count_;
+  if (record.timed_out) ++timed_out_count_;
+  recovery_sum_ += record.recovery_s;
+  lost_sum_ += record.lost_work_s;
+  goodput_sum_ += record.goodput();
+  // Snapshot the usage integral up to the new last completion. By event
+  // ordering every recorded usage step is at t <= this completion time, so
+  // extending the current level to `last_complete_` is exact.
+  if (have_usage_) {
+    const double tail_start = std::max(last_usage_t_, first_submit_);
+    window_integral_ =
+        integral_ +
+        (last_complete_ > tail_start ? last_used_ * (last_complete_ - tail_start)
+                                     : 0.0);
+  }
 }
 
 void MetricsCollector::record_usage(double t, int used) {
   EHPC_EXPECTS(used >= 0 && used <= total_slots_);
-  EHPC_EXPECTS(usage_.empty() || t >= usage_.back().first);
-  usage_.emplace_back(t, static_cast<double>(used));
+  if (!streaming_) {
+    EHPC_EXPECTS(usage_.empty() || t >= usage_.back().first);
+    usage_.emplace_back(t, static_cast<double>(used));
+    return;
+  }
+  EHPC_EXPECTS(!have_usage_ || t >= last_usage_t_);
+  if (have_usage_ && have_first_submit_) {
+    const double start = std::max(last_usage_t_, first_submit_);
+    if (t > start) integral_ += last_used_ * (t - start);
+  }
+  last_usage_t_ = t;
+  last_used_ = static_cast<double>(used);
+  have_usage_ = true;
 }
 
 void MetricsCollector::record_lb_step(double post_ratio, double migrations) {
   EHPC_EXPECTS(post_ratio >= 1.0);
   EHPC_EXPECTS(migrations >= 0.0);
-  lb_steps_.emplace_back(post_ratio, migrations);
+  lb_ratio_sum_ += post_ratio;
+  lb_migration_sum_ += migrations;
+  ++lb_count_;
 }
 
 void MetricsCollector::record_crash() { ++crashes_; }
@@ -34,9 +87,36 @@ void MetricsCollector::record_crash() { ++crashes_; }
 void MetricsCollector::record_eviction() { ++evictions_; }
 
 RunMetrics MetricsCollector::compute() const {
-  EHPC_EXPECTS(!jobs_.empty());
   RunMetrics m;
+  if (lb_count_ > 0) {
+    const double n = static_cast<double>(lb_count_);
+    m.lb_post_ratio = lb_ratio_sum_ / n;
+    m.lb_migrations_per_step = lb_migration_sum_ / n;
+    m.lb_steps = n;
+  }
+  m.failures = static_cast<double>(crashes_);
+  m.evictions = static_cast<double>(evictions_);
 
+  if (streaming_) {
+    EHPC_EXPECTS(n_jobs_ > 0);
+    m.total_time_s = last_complete_ - first_submit_;
+    m.weighted_response_s = response_.value();
+    m.weighted_completion_s = completion_.value();
+    if (have_usage_ && last_complete_ > first_submit_) {
+      m.utilization =
+          window_integral_ / (last_complete_ - first_submit_) / total_slots_;
+    }
+    const double n = static_cast<double>(n_jobs_);
+    m.jobs_failed = static_cast<double>(failed_count_);
+    m.jobs_abandoned = static_cast<double>(abandoned_count_);
+    m.jobs_timed_out = static_cast<double>(timed_out_count_);
+    m.recovery_time_s = recovery_sum_ / n;
+    m.lost_work_s = lost_sum_ / n;
+    m.goodput = goodput_sum_ / n;
+    return m;
+  }
+
+  EHPC_EXPECTS(!jobs_.empty());
   double first_submit = jobs_.front().submit_time;
   double last_complete = jobs_.front().complete_time;
   WeightedMean response;
@@ -67,26 +147,14 @@ RunMetrics MetricsCollector::compute() const {
     m.utilization =
         time_weighted_average(window, last_complete) / total_slots_;
   }
-  if (!lb_steps_.empty()) {
-    double ratio_sum = 0.0;
-    double migration_sum = 0.0;
-    for (const auto& [ratio, migrations] : lb_steps_) {
-      ratio_sum += ratio;
-      migration_sum += migrations;
-    }
-    const double n = static_cast<double>(lb_steps_.size());
-    m.lb_post_ratio = ratio_sum / n;
-    m.lb_migrations_per_step = migration_sum / n;
-    m.lb_steps = n;
-  }
 
-  m.failures = static_cast<double>(crashes_);
-  m.evictions = static_cast<double>(evictions_);
   std::vector<double> recovery;
   std::vector<double> lost;
   std::vector<double> goodput;
   for (const auto& j : jobs_) {
     if (j.failed) m.jobs_failed += 1.0;
+    if (j.abandoned) m.jobs_abandoned += 1.0;
+    if (j.timed_out) m.jobs_timed_out += 1.0;
     recovery.push_back(j.recovery_s);
     lost.push_back(j.lost_work_s);
     goodput.push_back(j.goodput());
@@ -115,6 +183,8 @@ RunMetrics average_metrics(const std::vector<RunMetrics>& runs) {
     avg.failures += r.failures;
     avg.evictions += r.evictions;
     avg.jobs_failed += r.jobs_failed;
+    avg.jobs_abandoned += r.jobs_abandoned;
+    avg.jobs_timed_out += r.jobs_timed_out;
     avg.recovery_time_s += r.recovery_time_s;
     avg.lost_work_s += r.lost_work_s;
     avg.goodput += r.goodput;
@@ -130,6 +200,8 @@ RunMetrics average_metrics(const std::vector<RunMetrics>& runs) {
   avg.failures /= n;
   avg.evictions /= n;
   avg.jobs_failed /= n;
+  avg.jobs_abandoned /= n;
+  avg.jobs_timed_out /= n;
   avg.recovery_time_s /= n;
   avg.lost_work_s /= n;
   avg.goodput /= n;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/stats.hpp"
 #include "elastic/job.hpp"
 
 namespace ehpc::elastic {
@@ -16,6 +17,12 @@ struct JobRecord {
   /// Killed by the failure budget (complete_time is the kill time, not a
   /// successful completion).
   bool failed = false;
+  /// Abandoned unstarted when its queue timeout expired (start_time and
+  /// complete_time are both the abandon time).
+  bool abandoned = false;
+  /// Killed by its task timeout after running `task_timeout_s` of wall
+  /// clock (complete_time is the kill time; the spent runtime is charged).
+  bool timed_out = false;
   /// Progress rolled back to the last checkpoint across all failures.
   double lost_work_s = 0.0;
   /// Downtime spent on fault tolerance: writing periodic checkpoints plus
@@ -26,9 +33,11 @@ struct JobRecord {
   double completion_time() const { return complete_time - submit_time; }
 
   /// Fraction of the job's wall-clock span spent making forward progress
-  /// (1 = no failures; 0 for a job killed by the failure budget).
+  /// (1 = no failures; 0 for a job that produced no result — killed by the
+  /// failure budget, abandoned in the queue, or killed by its task
+  /// timeout).
   double goodput() const {
-    if (failed) return 0.0;
+    if (failed || abandoned || timed_out) return 0.0;
     const double span = complete_time - start_time;
     if (span <= 0.0) return 1.0;
     const double useful = span - lost_work_s - recovery_s;
@@ -56,6 +65,8 @@ struct RunMetrics {
   double failures = 0.0;            ///< node crashes injected
   double evictions = 0.0;           ///< pod evictions injected
   double jobs_failed = 0.0;         ///< jobs killed by the failure budget
+  double jobs_abandoned = 0.0;      ///< jobs abandoned by their queue timeout
+  double jobs_timed_out = 0.0;      ///< jobs killed by their task timeout
   double recovery_time_s = 0.0;     ///< mean per-job recovery downtime
   double lost_work_s = 0.0;         ///< mean per-job rolled-back work
   double goodput = 1.0;             ///< mean per-job useful-time fraction
@@ -65,9 +76,29 @@ struct RunMetrics {
 /// run metrics. Used identically by the performance simulator and the
 /// Kubernetes-substrate experiment so "Actual" and "Simulation" columns are
 /// directly comparable.
+///
+/// Two accumulation modes:
+///  - batch (default): every JobRecord and usage step is retained, so
+///    callers can inspect per-job records after the run. Memory grows with
+///    trace length.
+///  - streaming (`enable_streaming()` before the first record): records are
+///    folded into O(1) accumulators on arrival and never retained —
+///    required by `ExecHarness::run_stream`, whose memory must stay
+///    proportional to in-flight jobs on million-job traces. Streaming
+///    consumers must call `note_submit(t)` at each submission so the
+///    utilization window opens at the first submit, not the first
+///    completion.
 class MetricsCollector {
  public:
   explicit MetricsCollector(int total_slots);
+
+  /// Switch to streaming accumulation. Must precede the first record.
+  void enable_streaming();
+  bool streaming() const { return streaming_; }
+
+  /// Tell the collector a job was submitted at `t` (streaming mode only;
+  /// a no-op in batch mode, where submit times come from the records).
+  void note_submit(double t);
 
   void add_job(const JobRecord& record);
 
@@ -84,6 +115,7 @@ class MetricsCollector {
 
   RunMetrics compute() const;
 
+  /// Retained per-job records; empty in streaming mode.
   const std::vector<JobRecord>& jobs() const { return jobs_; }
   const std::vector<std::pair<double, double>>& usage_steps() const {
     return usage_;
@@ -91,11 +123,40 @@ class MetricsCollector {
 
  private:
   int total_slots_;
+  bool streaming_ = false;
   std::vector<JobRecord> jobs_;
   std::vector<std::pair<double, double>> usage_;  // (time, used slots)
-  std::vector<std::pair<double, double>> lb_steps_;  // (post ratio, migrations)
+  // LB steps fold into running sums in both modes (same addition order as
+  // the old retained vector, so batch results are bit-identical).
+  double lb_ratio_sum_ = 0.0;
+  double lb_migration_sum_ = 0.0;
+  long lb_count_ = 0;
   int crashes_ = 0;
   int evictions_ = 0;
+
+  // Streaming accumulators (mirror the batch compute() pass, in the same
+  // per-record order, so the two modes agree).
+  long n_jobs_ = 0;
+  double first_submit_ = 0.0;
+  bool have_first_submit_ = false;
+  double last_complete_ = 0.0;
+  WeightedMean response_;
+  WeightedMean completion_;
+  double recovery_sum_ = 0.0;
+  double lost_sum_ = 0.0;
+  double goodput_sum_ = 0.0;
+  long failed_count_ = 0;
+  long abandoned_count_ = 0;
+  long timed_out_count_ = 0;
+  // Usage step-function integral over [first_submit_, last event], plus a
+  // snapshot truncated at the latest completion: pod/engine events that
+  // arrive after the last completion must not leak into utilization (the
+  // batch path windows the retained trace the same way).
+  bool have_usage_ = false;
+  double last_usage_t_ = 0.0;
+  double last_used_ = 0.0;
+  double integral_ = 0.0;
+  double window_integral_ = 0.0;
 };
 
 /// Average each metric over several runs (the paper reports means over 100

@@ -217,6 +217,20 @@ std::vector<Action> PolicyEngine::try_shrink_to_fit(JobState& job, double now) {
   return actions;
 }
 
+void PolicyEngine::abandon(JobId id) {
+  JobState& st = job_mut(id);
+  EHPC_EXPECTS(!st.running && !st.completed);
+  EHPC_ENSURES(st.replicas == 0);  // queued jobs hold no slots
+  st.completed = true;
+}
+
+void PolicyEngine::forget(JobId id) {
+  auto it = jobs_.find(id);
+  EHPC_EXPECTS(it != jobs_.end());
+  EHPC_EXPECTS(it->second.completed);
+  jobs_.erase(it);
+}
+
 std::vector<Action> PolicyEngine::complete(JobId id, double now) {
   JobState& done = job_mut(id);
   EHPC_EXPECTS(done.running);

@@ -81,6 +81,17 @@ class PolicyEngine {
   /// jobs, in priority order.
   std::vector<Action> complete(JobId id, double now);
 
+  /// Withdraw a queued job that gave up waiting (its queue timeout fired).
+  /// The job must be queued — never started; it holds no slots, so nothing
+  /// is redistributed. It is marked completed so later redistribution
+  /// passes skip it.
+  void abandon(JobId id);
+
+  /// Drop a completed job's state entirely. Streaming replay retires jobs
+  /// as they finish so the engine's map — like the harness — holds only
+  /// in-flight jobs, keeping million-job traces in bounded memory.
+  void forget(JobId id);
+
   // ---- inspection ----
   int total_slots() const { return total_slots_; }
   int free_slots() const { return free_slots_; }

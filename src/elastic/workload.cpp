@@ -7,6 +7,15 @@
 
 namespace ehpc::elastic {
 
+JobClass job_class_from_string(const std::string& name) {
+  if (name == "small") return JobClass::kSmall;
+  if (name == "medium") return JobClass::kMedium;
+  if (name == "large") return JobClass::kLarge;
+  if (name == "xlarge") return JobClass::kXLarge;
+  throw PreconditionError("unknown job class '" + name +
+                          "'; known: small medium large xlarge");
+}
+
 std::string to_string(JobClass c) {
   switch (c) {
     case JobClass::kSmall: return "small";

@@ -12,6 +12,11 @@ enum class JobClass { kSmall, kMedium, kLarge, kXLarge };
 
 std::string to_string(JobClass c);
 
+/// Parse "small" / "medium" / "large" / "xlarge"; throws PreconditionError
+/// on anything else. Inverse of `to_string(JobClass)`; used by the trace
+/// CSV loader and the cron/scenario config keys.
+JobClass job_class_from_string(const std::string& name);
+
 /// Physically grounded model of the 4-stage rescale overhead (paper §4.2):
 /// checkpoint and restore scale with per-PE data over shared-memory
 /// bandwidth, restart grows linearly with the new rank count (MPI startup),

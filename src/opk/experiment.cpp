@@ -31,11 +31,17 @@ class ClusterExperiment::Harness final : public schedsim::ExecHarness {
     const double total = static_cast<double>(cluster.total_cpus());
     collector().record_usage(cluster.sim().now(),
                              std::min(used, cluster.total_cpus()));
+    if (streaming()) return;  // the step trace grows with the trace length
     trace().record("util", cluster.sim().now(),
                    static_cast<double>(used) / total);
   }
 
  private:
+  /// Staged rescale/ack callbacks may dereference a job's exec after it
+  /// completes (guarded by `exec.done`), so streaming replay must not erase
+  /// retired execs on this substrate.
+  bool retire_completed_execs() const override { return false; }
+
   void init_exec(schedsim::JobExec& exec,
                  const schedsim::SubmittedJob& job) override {
     exec.job_name = job.spec.name.empty()
@@ -230,6 +236,10 @@ ClusterExperiment::~ClusterExperiment() = default;
 schedsim::SimResult ClusterExperiment::run(
     const std::vector<schedsim::SubmittedJob>& mix) {
   return harness_->run(mix);
+}
+
+schedsim::SimResult ClusterExperiment::run_stream(trace::TraceSource& source) {
+  return harness_->run_stream(source);
 }
 
 }  // namespace ehpc::opk

@@ -47,6 +47,12 @@ class ClusterExperiment {
   /// Execute one job mix to completion. Single-shot per instance.
   schedsim::SimResult run(const std::vector<schedsim::SubmittedJob>& mix);
 
+  /// Replay a streaming trace through the operator machinery. Metrics are
+  /// folded online; unlike the pure simulator, finished jobs keep their
+  /// (small) bookkeeping entries because staged handshake callbacks may
+  /// still inspect them. Single-shot per instance.
+  schedsim::SimResult run_stream(trace::TraceSource& source);
+
   k8s::Cluster& cluster() { return cluster_; }
   CharmJobController& controller() { return *controller_; }
 

@@ -2,9 +2,12 @@
 
 #include <utility>
 
+#include "common/error.hpp"
+#include "elastic/workload.hpp"
 #include "opk/experiment.hpp"
 #include "schedsim/calibrate.hpp"
 #include "schedsim/simulator.hpp"
+#include "trace/sources.hpp"
 
 namespace ehpc::scenario {
 
@@ -18,6 +21,10 @@ SchedSimBackend::SchedSimBackend(
 schedsim::SimResult SchedSimBackend::run(
     const std::vector<schedsim::SubmittedJob>& mix) {
   return simulator_.run(mix);
+}
+
+schedsim::SimResult SchedSimBackend::run_stream(trace::TraceSource& source) {
+  return simulator_.run_stream(source);
 }
 
 ClusterBackend::ClusterBackend(
@@ -34,6 +41,16 @@ schedsim::SimResult ClusterBackend::run(
   config.faults = spec_.faults;
   opk::ClusterExperiment experiment(config, workloads_);
   return experiment.run(mix);
+}
+
+schedsim::SimResult ClusterBackend::run_stream(trace::TraceSource& source) {
+  opk::ExperimentConfig config;
+  config.nodes = spec_.nodes;
+  config.cpus_per_node = spec_.cpus_per_node;
+  config.policy = policy_;
+  config.faults = spec_.faults;
+  opk::ClusterExperiment experiment(config, workloads_);
+  return experiment.run_stream(source);
 }
 
 elastic::PolicyConfig policy_for(const ScenarioSpec& spec,
@@ -69,7 +86,48 @@ std::vector<schedsim::SubmittedJob> make_mix(const ScenarioSpec& spec,
       job.spec.max_replicas = spec.pods_per_job;
     }
   }
+  if (spec.queue_timeout_s >= 0.0 || spec.task_timeout_s >= 0.0) {
+    for (auto& job : mix) {
+      job.queue_timeout_s = spec.queue_timeout_s;
+      job.task_timeout_s = spec.task_timeout_s;
+    }
+  }
   return mix;
+}
+
+std::unique_ptr<trace::TraceSource> make_trace_source(const ScenarioSpec& spec,
+                                                      unsigned seed) {
+  EHPC_EXPECTS(spec.is_trace());
+  trace::JobDefaults defaults;
+  defaults.queue_timeout_s = spec.queue_timeout_s;
+  defaults.task_timeout_s = spec.task_timeout_s;
+  defaults.max_failed_nodes = spec.faults.max_failed_nodes;
+
+  std::vector<std::unique_ptr<trace::TraceSource>> sources;
+  if (!spec.trace_path.empty()) {
+    sources.push_back(
+        std::make_unique<trace::CsvTraceSource>(spec.trace_path, defaults));
+  }
+  if (spec.trace_jobs > 0) {
+    trace::SyntheticTraceConfig config;
+    config.num_jobs = spec.trace_jobs;
+    config.submission_gap_s = spec.submission_gap_s;
+    config.seed = seed;
+    config.defaults = defaults;
+    sources.push_back(std::make_unique<trace::SyntheticTraceSource>(config));
+  }
+  if (spec.cron_period_s > 0.0) {
+    trace::CronTraceConfig config;
+    config.period_s = spec.cron_period_s;
+    config.phase_s = spec.cron_phase_s;
+    config.end_s = spec.cron_end_s;
+    config.job_class = elastic::job_class_from_string(spec.cron_class);
+    config.priority = spec.cron_priority;
+    config.defaults = defaults;
+    sources.push_back(std::make_unique<trace::CronTraceSource>(config));
+  }
+  if (sources.size() == 1) return std::move(sources.front());
+  return std::make_unique<trace::CompositeTraceSource>(std::move(sources));
 }
 
 std::unique_ptr<ExperimentBackend> make_backend(

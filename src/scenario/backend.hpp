@@ -10,6 +10,7 @@
 #include "schedsim/exec.hpp"
 #include "schedsim/jobmix.hpp"
 #include "schedsim/simulator.hpp"
+#include "trace/source.hpp"
 
 namespace ehpc::scenario {
 
@@ -26,6 +27,10 @@ class ExperimentBackend {
   /// is an independent run.
   virtual schedsim::SimResult run(
       const std::vector<schedsim::SubmittedJob>& mix) = 0;
+
+  /// Replay a streaming trace to completion (see ExecHarness::run_stream).
+  /// May be called repeatedly with a fresh source per call.
+  virtual schedsim::SimResult run_stream(trace::TraceSource& source) = 0;
 };
 
 /// Pure scheduler-performance simulator (§4.3.1): operator and pod startup
@@ -37,6 +42,7 @@ class SchedSimBackend final : public ExperimentBackend {
 
   schedsim::SimResult run(
       const std::vector<schedsim::SubmittedJob>& mix) override;
+  schedsim::SimResult run_stream(trace::TraceSource& source) override;
 
  private:
   schedsim::SchedSimulator simulator_;
@@ -52,6 +58,7 @@ class ClusterBackend final : public ExperimentBackend {
 
   schedsim::SimResult run(
       const std::vector<schedsim::SubmittedJob>& mix) override;
+  schedsim::SimResult run_stream(trace::TraceSource& source) override;
 
  private:
   ScenarioSpec spec_;
@@ -68,9 +75,16 @@ std::map<elastic::JobClass, elastic::Workload> workloads_for(
     const ScenarioSpec& spec);
 
 /// The spec's random job mix for one RNG seed (repeat r of a sweep cell
-/// uses `spec.seed + r`).
+/// uses `spec.seed + r`). The spec's queue/task timeouts are stamped onto
+/// every generated job.
 std::vector<schedsim::SubmittedJob> make_mix(const ScenarioSpec& spec,
                                              unsigned seed);
+
+/// Build the spec's trace source for one RNG seed: the merge of every
+/// configured source (CSV file, synthetic stream, cron schedule), each
+/// stamped with the spec's per-job limits. Requires `spec.is_trace()`.
+std::unique_ptr<trace::TraceSource> make_trace_source(const ScenarioSpec& spec,
+                                                      unsigned seed);
 
 /// Instantiate the spec's substrate.
 std::unique_ptr<ExperimentBackend> make_backend(

@@ -208,6 +208,28 @@ ScenarioRegistry::ScenarioRegistry() {
   scale.policies = {PolicyMode::kRigidMin};
   scale.repeats = 1;
   add(scale);
+
+  // Production trace campaign (ROADMAP "Trace campaigns"): a streaming
+  // synthetic arrival trace replayed through run_stream with prun-style
+  // per-job limits, so queued jobs abandon and runaway jobs are killed.
+  // trace_jobs= is the length knob (bench_fig_trace sweeps it to 1M jobs —
+  // memory stays proportional to in-flight jobs, not trace length);
+  // substrate= picks the substrate.
+  ScenarioSpec trace_replay;
+  trace_replay.name = "trace_replay";
+  trace_replay.description =
+      "Streaming trace campaign: synthetic arrivals replayed through the "
+      "bounded-memory streaming path with queue/task timeouts (length knob: "
+      "trace_jobs=)";
+  trace_replay.trace_jobs = 2000;
+  // ~1.5x the sustainable arrival rate at 64 slots: enough pressure that
+  // queue timeouts fire steadily, while most jobs still complete.
+  trace_replay.submission_gap_s = 60.0;
+  trace_replay.calibrated = false;
+  trace_replay.queue_timeout_s = 3600.0;
+  trace_replay.task_timeout_s = 900.0;
+  trace_replay.repeats = 3;
+  add(trace_replay);
 }
 
 std::vector<std::string> scenario_config_keys() {

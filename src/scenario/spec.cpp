@@ -8,6 +8,7 @@
 #include "charm/load_balancer.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "elastic/workload.hpp"
 
 namespace ehpc::scenario {
 
@@ -179,6 +180,21 @@ void ScenarioSpec::validate() const {
       }
     }
   }
+  if (trace_jobs < 0) fail("trace_jobs must be non-negative");
+  if (cron_period_s < 0.0) fail("cron_period must be non-negative");
+  if (cron_period_s > 0.0) {
+    if (cron_phase_s < 0.0) fail("cron_phase must be non-negative");
+    if (cron_end_s < cron_phase_s) {
+      fail("cron_end must be >= cron_phase (the cron window is "
+           "[cron_phase, cron_end])");
+    }
+    try {
+      elastic::job_class_from_string(cron_class);
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+    if (cron_priority < 1) fail("cron_priority must be >= 1");
+  }
   try {
     faults.validate();
   } catch (const std::exception& e) {
@@ -195,6 +211,9 @@ const std::vector<std::string>& spec_config_keys() {
       "fault_times",    "fault_mtbf", "evict_times",   "straggler_at",
       "straggler_factor", "checkpoint_period", "fault_detection",
       "max_failed_nodes",
+      "trace",          "trace_jobs", "cron_period",   "cron_phase",
+      "cron_end",       "cron_class", "cron_priority", "queue_timeout",
+      "task_timeout",
       "sweep_axis",     "sweep_values", "repeats",     "seed"};
   return kKeys;
 }
@@ -223,6 +242,15 @@ std::string spec_config_help() {
       "  checkpoint_period=0     disk checkpoint cadence (s); 0 = none\n"
       "  fault_detection=5       crash detection delay before recovery (s)\n"
       "  max_failed_nodes=-1     per-job crash budget (prun); <0 unlimited\n"
+      "  trace=                  CSV job trace to stream (replaces num_jobs)\n"
+      "  trace_jobs=0            synthetic streaming trace length; 0 off\n"
+      "  cron_period=0           recurring-job submission period (s); 0 off\n"
+      "  cron_phase=0            first cron submission time (s)\n"
+      "  cron_end=0              last eligible cron submission (s, inclusive)\n"
+      "  cron_class=medium       cron job class: small|medium|large|xlarge\n"
+      "  cron_priority=3         cron job priority\n"
+      "  queue_timeout=-1        abandon jobs queued this long (s); <0 off\n"
+      "  task_timeout=-1         kill jobs running this long (s); <0 off\n"
       "  sweep_axis=none         none | submission_gap | rescale_gap |\n"
       "                          refine_rate | lb_strategy | fault_mtbf |\n"
       "                          checkpoint_period\n"
@@ -258,6 +286,15 @@ ScenarioSpec spec_from_config(const Config& cfg, ScenarioSpec base) {
       cfg.get_double("fault_detection", spec.faults.detection_s);
   spec.faults.max_failed_nodes =
       cfg.get_int("max_failed_nodes", spec.faults.max_failed_nodes);
+  if (auto v = cfg.get("trace")) spec.trace_path = *v;
+  spec.trace_jobs = cfg.get_int("trace_jobs", static_cast<int>(spec.trace_jobs));
+  spec.cron_period_s = cfg.get_double("cron_period", spec.cron_period_s);
+  spec.cron_phase_s = cfg.get_double("cron_phase", spec.cron_phase_s);
+  spec.cron_end_s = cfg.get_double("cron_end", spec.cron_end_s);
+  if (auto v = cfg.get("cron_class")) spec.cron_class = *v;
+  spec.cron_priority = cfg.get_int("cron_priority", spec.cron_priority);
+  spec.queue_timeout_s = cfg.get_double("queue_timeout", spec.queue_timeout_s);
+  spec.task_timeout_s = cfg.get_double("task_timeout", spec.task_timeout_s);
   if (auto v = cfg.get("policies")) spec.policies = parse_policies(*v);
   if (auto v = cfg.get("sweep_axis")) spec.axis = sweep_axis_from_string(*v);
   if (auto v = cfg.get("sweep_values")) spec.axis_values = parse_values(*v);
@@ -307,6 +344,25 @@ std::string describe(const ScenarioSpec& spec) {
       out += " max_failed_nodes=" +
              std::to_string(spec.faults.max_failed_nodes);
     }
+  }
+  // Trace keys render only when set, so specs predating the trace
+  // subsystem describe() byte-identically (recorded bench configs).
+  if (!spec.trace_path.empty()) out += " trace=" + spec.trace_path;
+  if (spec.trace_jobs > 0) {
+    out += " trace_jobs=" + std::to_string(spec.trace_jobs);
+  }
+  if (spec.cron_period_s > 0.0) {
+    out += " cron_period=" + format_double(spec.cron_period_s, 0);
+    out += " cron_phase=" + format_double(spec.cron_phase_s, 0);
+    out += " cron_end=" + format_double(spec.cron_end_s, 0);
+    out += " cron_class=" + spec.cron_class;
+    out += " cron_priority=" + std::to_string(spec.cron_priority);
+  }
+  if (spec.queue_timeout_s >= 0.0) {
+    out += " queue_timeout=" + format_double(spec.queue_timeout_s, 0);
+  }
+  if (spec.task_timeout_s >= 0.0) {
+    out += " task_timeout=" + format_double(spec.task_timeout_s, 0);
   }
   out += " policies=" + join_policies(spec.policies);
   out += " sweep_axis=" + to_string(spec.axis);

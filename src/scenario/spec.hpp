@@ -91,6 +91,28 @@ struct ScenarioSpec {
   // checkpointing, behaviour identical to a spec without the field.
   schedsim::FaultPlan faults;
 
+  // ---- trace campaign (streaming TraceSource replay) ----
+  // When any trace source below is configured the runner switches from
+  // generated mixes to `run_stream`: submissions are pulled lazily and
+  // finished jobs retire to summaries, so trace length no longer bounds
+  // memory. Multiple configured sources merge in submit-time order.
+  std::string trace_path;   ///< CSV trace file; empty = no CSV source
+  long trace_jobs = 0;      ///< synthetic stream length; 0 = no synthetic
+  double cron_period_s = 0.0;  ///< recurring-job period; 0 = no cron source
+  double cron_phase_s = 0.0;   ///< first cron submission time
+  double cron_end_s = 0.0;     ///< last eligible cron submission (inclusive)
+  std::string cron_class = "medium";
+  int cron_priority = 3;
+  // Per-job prun-style limits stamped onto every job — trace-sourced and
+  // generated mixes alike. Negative = off.
+  double queue_timeout_s = -1.0;  ///< abandon a job queued this long
+  double task_timeout_s = -1.0;   ///< kill a job running this long
+
+  /// True when any trace source is configured (the runner streams).
+  bool is_trace() const {
+    return !trace_path.empty() || trace_jobs > 0 || cron_period_s > 0.0;
+  }
+
   // Sweep: one point per `axis_values` entry, overriding the swept
   // parameter; kNone runs a single point at the spec's own values.
   SweepAxis axis = SweepAxis::kNone;

@@ -125,10 +125,22 @@ SweepResult run_sweep(const ScenarioSpec& spec, int threads) {
     const std::size_t r = i % repeats;
     const ScenarioSpec point = at_axis_value(spec, xs[p]);
     const auto& point_workloads = workloads[workloads.size() == 1 ? 0 : p];
-    const auto mix =
-        make_mix(point, spec.seed + static_cast<unsigned>(r));
+    const unsigned cell_seed = spec.seed + static_cast<unsigned>(r);
     auto& cell = cells[i];
     cell.resize(num_policies);
+    if (point.is_trace()) {
+      // Trace cells stream instead of materializing a mix: every policy
+      // pulls a fresh source built from the same (spec, seed), so all
+      // policies replay the identical submission sequence.
+      for (std::size_t k = 0; k < num_policies; ++k) {
+        auto backend = make_backend(point, policy_for(point, spec.policies[k]),
+                                    point_workloads);
+        auto source = make_trace_source(point, cell_seed);
+        cell[k] = backend->run_stream(*source).metrics;
+      }
+      return;
+    }
+    const auto mix = make_mix(point, cell_seed);
     for (std::size_t k = 0; k < num_policies; ++k) {
       auto backend = make_backend(point, policy_for(point, spec.policies[k]),
                                   point_workloads);
@@ -170,8 +182,15 @@ RunMetrics run_repeats(const ScenarioSpec& spec,
   const std::size_t repeats = static_cast<std::size_t>(spec.repeats);
   std::vector<RunMetrics> runs(repeats);
   parallel_for(repeats, threads, [&](std::size_t r) {
-    const auto mix = make_mix(spec, spec.seed + static_cast<unsigned>(r));
-    runs[r] = make_backend(spec, policy, workloads)->run(mix).metrics;
+    const unsigned seed = spec.seed + static_cast<unsigned>(r);
+    auto backend = make_backend(spec, policy, workloads);
+    if (spec.is_trace()) {
+      auto source = make_trace_source(spec, seed);
+      runs[r] = backend->run_stream(*source).metrics;
+      return;
+    }
+    const auto mix = make_mix(spec, seed);
+    runs[r] = backend->run(mix).metrics;
   });
   return elastic::average_metrics(runs);
 }
@@ -180,8 +199,13 @@ schedsim::SimResult run_single(const ScenarioSpec& spec, PolicyMode mode,
                                unsigned mix_seed) {
   spec.validate();
   const auto workloads = workloads_for(spec);
+  auto backend = make_backend(spec, policy_for(spec, mode), workloads);
+  if (spec.is_trace()) {
+    auto source = make_trace_source(spec, mix_seed);
+    return backend->run_stream(*source);
+  }
   const auto mix = make_mix(spec, mix_seed);
-  return make_backend(spec, policy_for(spec, mode), workloads)->run(mix);
+  return backend->run(mix);
 }
 
 std::map<PolicyMode, schedsim::SimResult> run_policies(
@@ -198,6 +222,19 @@ std::map<PolicyMode, schedsim::SimResult> run_policies(
   for (const PolicyMode mode : spec.policies) {
     auto backend = make_backend(spec, policy_for(spec, mode), workloads);
     out.emplace(mode, backend->run(mix));
+  }
+  return out;
+}
+
+std::map<PolicyMode, schedsim::SimResult> run_policies_stream(
+    const ScenarioSpec& spec, unsigned seed) {
+  spec.validate();
+  const auto workloads = workloads_for(spec);
+  std::map<PolicyMode, schedsim::SimResult> out;
+  for (const PolicyMode mode : spec.policies) {
+    auto backend = make_backend(spec, policy_for(spec, mode), workloads);
+    auto source = make_trace_source(spec, seed);
+    out.emplace(mode, backend->run_stream(*source));
   }
   return out;
 }

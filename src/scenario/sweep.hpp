@@ -62,4 +62,11 @@ std::map<elastic::PolicyMode, schedsim::SimResult> run_policies(
     const ScenarioSpec& spec, const std::vector<schedsim::SubmittedJob>& mix,
     const std::map<elastic::JobClass, elastic::Workload>& workloads);
 
+/// Streaming analogue of run_policies for trace specs: every policy replays
+/// a fresh source built from the same (spec, seed), so all policies see the
+/// identical submission sequence. Requires `spec.is_trace()`. Full results
+/// carry `SimResult::stream` stats; per-job records are retired, not kept.
+std::map<elastic::PolicyMode, schedsim::SimResult> run_policies_stream(
+    const ScenarioSpec& spec, unsigned seed);
+
 }  // namespace ehpc::scenario

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "trace/source.hpp"
 
 namespace ehpc::schedsim {
 
@@ -50,23 +51,34 @@ void ExecHarness::on_actions_applied() {}
 
 void ExecHarness::on_job_completed(JobExec&) {}
 
+void ExecHarness::set_retire_observer(RetireObserver observer) {
+  retire_observer_ = std::move(observer);
+}
+
+JobExec ExecHarness::make_exec(const SubmittedJob& job) {
+  auto it = workloads_.find(job.job_class);
+  EHPC_EXPECTS(it != workloads_.end());
+  JobExec exec;
+  exec.workload = it->second;
+  exec.remaining_steps = exec.workload.total_steps;
+  exec.ckpt_remaining_steps = exec.workload.total_steps;
+  exec.record.id = job.spec.id;
+  exec.record.priority = job.spec.priority;
+  exec.record.submit_time = job.submit_time;
+  exec.queue_timeout_s = job.queue_timeout_s;
+  exec.task_timeout_s = job.task_timeout_s;
+  exec.max_failed_nodes = job.max_failed_nodes;
+  init_exec(exec, job);
+  return exec;
+}
+
 SimResult ExecHarness::run(const std::vector<SubmittedJob>& mix) {
   EHPC_EXPECTS(!used_);  // single-shot per harness instance
   EHPC_EXPECTS(!mix.empty());
   used_ = true;
 
   for (const SubmittedJob& job : mix) {
-    auto it = workloads_.find(job.job_class);
-    EHPC_EXPECTS(it != workloads_.end());
-    JobExec exec;
-    exec.workload = it->second;
-    exec.remaining_steps = exec.workload.total_steps;
-    exec.ckpt_remaining_steps = exec.workload.total_steps;
-    exec.record.id = job.spec.id;
-    exec.record.priority = job.spec.priority;
-    exec.record.submit_time = job.submit_time;
-    init_exec(exec, job);
-    execs_.emplace(job.spec.id, std::move(exec));
+    execs_.emplace(job.spec.id, make_exec(job));
     sim_.schedule_at(job.submit_time, [this, job] { submit(job); });
   }
   schedule_faults();
@@ -81,21 +93,98 @@ SimResult ExecHarness::run(const std::vector<SubmittedJob>& mix) {
   result.metrics = collector_->compute();
   result.trace = std::move(trace_);
   result.rescale_count = rescale_count_;
+  result.stream.jobs_submitted = static_cast<long>(mix.size());
+  result.stream.peak_live_jobs = static_cast<long>(mix.size());
   return result;
 }
 
+SimResult ExecHarness::run_stream(trace::TraceSource& source) {
+  EHPC_EXPECTS(!used_);  // single-shot per harness instance
+  used_ = true;
+  streaming_ = true;
+  collector_->enable_streaming();
+  source_ = &source;
+
+  std::optional<SubmittedJob> first = source.next();
+  EHPC_EXPECTS(first.has_value());  // an empty trace is a caller error
+  stream_pending_ = true;
+  const SubmittedJob job = *first;
+  sim_.schedule_at(job.submit_time, [this, job] { pump_submit(job); });
+  schedule_faults();
+  sim_.run();
+
+  EHPC_ENSURES(!stream_pending_);  // the whole source was consumed
+  for (const auto& [id, exec] : execs_) {
+    EHPC_ENSURES(exec.done);
+  }
+  SimResult result;
+  result.metrics = collector_->compute();
+  result.rescale_count = rescale_count_;
+  result.stream = stream_stats_;
+  result.stream.response_p50 = response_p50_.value();
+  result.stream.response_p99 = response_p99_.value();
+  result.stream.completion_p50 = completion_p50_.value();
+  result.stream.completion_p99 = completion_p99_.value();
+  return result;
+}
+
+void ExecHarness::pump_submit(const SubmittedJob& job) {
+  // Trace contract: ids unique among jobs tracked simultaneously.
+  EHPC_EXPECTS(execs_.count(job.spec.id) == 0);
+  execs_.emplace(job.spec.id, make_exec(job));
+  ++stream_stats_.jobs_submitted;
+  stream_stats_.peak_live_jobs = std::max(
+      stream_stats_.peak_live_jobs, static_cast<long>(execs_.size()));
+  submit(job);
+  std::optional<SubmittedJob> next = source_->next();
+  if (next.has_value()) {
+    EHPC_EXPECTS(next->submit_time >= job.submit_time);  // sorted stream
+    const SubmittedJob pending = *next;
+    sim_.schedule_at(pending.submit_time,
+                     [this, pending] { pump_submit(pending); });
+  } else {
+    stream_pending_ = false;
+  }
+}
+
 void ExecHarness::submit(const SubmittedJob& job) {
+  collector_->note_submit(job.submit_time);
   auto actions = engine_->submit(job.spec, sim_.now());
   apply_actions(actions);
   on_actions_applied();
+  JobExec& exec = execs_.at(job.spec.id);
+  if (exec.queue_timeout_s >= 0.0 && !exec.done) {
+    const elastic::JobState& st = engine_->job(job.spec.id);
+    if (!st.running && !st.completed) {
+      const JobId id = job.spec.id;
+      exec.queue_timeout_event =
+          sim_.schedule_at(sim_.now() + exec.queue_timeout_s,
+                           [this, id] { queue_timeout(id); });
+    }
+  }
 }
 
 void ExecHarness::apply_actions(const std::vector<Action>& actions) {
   for (const Action& a : actions) {
     switch (a.type) {
-      case ActionType::kStart:
+      case ActionType::kStart: {
+        JobExec& exec = execs_.at(a.job);
+        // A granted start ends the abandonment window even if the
+        // substrate's pods are not ready yet; cancelling here also keeps
+        // stale timeout events from piling up in million-job replays.
+        if (exec.queue_timeout_event != sim::kInvalidEvent) {
+          sim_.cancel(exec.queue_timeout_event);
+          exec.queue_timeout_event = sim::kInvalidEvent;
+        }
         start_job(a.job, a.target_replicas);
+        if (exec.task_timeout_s >= 0.0 && !exec.done) {
+          const JobId id = a.job;
+          exec.task_timeout_event =
+              sim_.schedule_at(sim_.now() + exec.task_timeout_s,
+                               [this, id] { task_timeout(id); });
+        }
         break;
+      }
       case ActionType::kShrink:
         shrink_job(a.job, a.target_replicas);
         break;
@@ -134,27 +223,90 @@ void ExecHarness::complete_job(JobId id) {
   // shared tail so finish_job does not cancel a spent event id.
   execs_.at(id).completion_event = sim::kInvalidEvent;
   execs_.at(id).remaining_steps = 0.0;
-  finish_job(id, /*failed=*/false);
+  finish_job(id, JobOutcome::kCompleted);
 }
 
-void ExecHarness::finish_job(JobId id, bool failed) {
+void ExecHarness::finish_job(JobId id, JobOutcome outcome) {
   JobExec& exec = execs_.at(id);
   EHPC_ENSURES(!exec.done);
   if (exec.completion_event != sim::kInvalidEvent) {
     sim_.cancel(exec.completion_event);
     exec.completion_event = sim::kInvalidEvent;
   }
+  if (exec.task_timeout_event != sim::kInvalidEvent) {
+    sim_.cancel(exec.task_timeout_event);
+    exec.task_timeout_event = sim::kInvalidEvent;
+  }
+  if (exec.queue_timeout_event != sim::kInvalidEvent) {
+    sim_.cancel(exec.queue_timeout_event);
+    exec.queue_timeout_event = sim::kInvalidEvent;
+  }
   exec.done = true;
-  exec.record.failed = failed;
+  exec.record.failed = outcome == JobOutcome::kFailed;
+  exec.record.timed_out = outcome == JobOutcome::kTimedOut;
   exec.record.complete_time = sim_.now();
+  if (!exec.started && exec.record.start_time < exec.record.submit_time) {
+    // Killed before the substrate reported it started (cluster pods still
+    // pending): pin the record's start to the submit so timestamps stay
+    // ordered.
+    exec.record.start_time = exec.record.submit_time;
+  }
   record_replicas(id, 0);
   on_job_completed(exec);
   auto actions = engine_->complete(id, sim_.now());
   apply_actions(actions);
   on_actions_applied();
+  retire_job(id);
+}
+
+void ExecHarness::queue_timeout(JobId id) {
+  auto it = execs_.find(id);
+  if (it == execs_.end()) return;
+  JobExec& exec = it->second;
+  exec.queue_timeout_event = sim::kInvalidEvent;
+  if (exec.done) return;
+  const elastic::JobState& st = engine_->job(id);
+  // Engine state, not exec.started: a cluster job granted a start still has
+  // started=false until its pods are ready, but it is no longer queued.
+  if (st.running || st.completed) return;
+  engine_->abandon(id);
+  exec.done = true;
+  exec.record.abandoned = true;
+  exec.record.start_time = sim_.now();
+  exec.record.complete_time = sim_.now();
+  EHPC_DEBUG("schedsim", "job %d abandoned after %.1fs in the queue", id,
+             exec.queue_timeout_s);
+  retire_job(id);
+}
+
+void ExecHarness::task_timeout(JobId id) {
+  auto it = execs_.find(id);
+  if (it == execs_.end()) return;
+  JobExec& exec = it->second;
+  exec.task_timeout_event = sim::kInvalidEvent;
+  if (exec.done) return;
+  EHPC_DEBUG("schedsim", "job %d killed by its %.1fs task timeout", id,
+             exec.task_timeout_s);
+  finish_job(id, JobOutcome::kTimedOut);
+}
+
+void ExecHarness::retire_job(JobId id) {
+  if (!streaming_) return;
+  auto it = execs_.find(id);
+  EHPC_ENSURES(it != execs_.end() && it->second.done);
+  const elastic::JobRecord& record = it->second.record;
+  collector_->add_job(record);
+  response_p50_.add(record.response_time());
+  response_p99_.add(record.response_time());
+  completion_p50_.add(record.completion_time());
+  completion_p99_.add(record.completion_time());
+  if (retire_observer_) retire_observer_(record);
+  engine_->forget(id);
+  if (retire_completed_execs()) execs_.erase(it);
 }
 
 void ExecHarness::record_replicas(JobId id, int replicas) {
+  if (streaming_) return;  // step traces grow with the trace length
   trace_.record("job." + std::to_string(id) + ".replicas", sim_.now(),
                 static_cast<double>(replicas));
 }
@@ -162,6 +314,7 @@ void ExecHarness::record_replicas(JobId id, int replicas) {
 void ExecHarness::record_engine_usage() {
   const int used = engine_->used_slots();
   collector_->record_usage(sim_.now(), used);
+  if (streaming_) return;
   trace_.record("util", sim_.now(),
                 static_cast<double>(used) / static_cast<double>(total_slots_));
 }
@@ -206,6 +359,10 @@ JobExec* ExecHarness::pick_victim() {
 }
 
 bool ExecHarness::any_job_unfinished() const {
+  // A streaming source that has not been exhausted counts as unfinished
+  // work: the MTBF/checkpoint chains must survive the gap between the
+  // current in-flight jobs draining and the next submission arriving.
+  if (stream_pending_) return true;
   for (const auto& [id, exec] : execs_) {
     if (!exec.done) return true;
   }
@@ -251,13 +408,15 @@ void ExecHarness::apply_fault(JobExec& exec, bool is_crash) {
 
   if (is_crash) {
     ++exec.failed_nodes;
-    if (fault_plan_.max_failed_nodes >= 0 &&
-        exec.failed_nodes > fault_plan_.max_failed_nodes) {
+    // A per-job budget (prun's -retries) overrides the plan-wide one.
+    const int budget = exec.max_failed_nodes >= 0 ? exec.max_failed_nodes
+                                                  : fault_plan_.max_failed_nodes;
+    if (budget >= 0 && exec.failed_nodes > budget) {
       // prun-style failure budget exhausted: the job is failed for good;
       // its slots go back to the scheduler.
       EHPC_INFO("schedsim", "job %d exceeded max_failed_nodes=%d, failing",
-                id, fault_plan_.max_failed_nodes);
-      finish_job(id, /*failed=*/true);
+                id, budget);
+      finish_job(id, JobOutcome::kFailed);
       return;
     }
   }

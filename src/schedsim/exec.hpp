@@ -1,10 +1,13 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "elastic/metrics.hpp"
 #include "elastic/policy.hpp"
 #include "elastic/workload.hpp"
@@ -13,17 +16,39 @@
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
 
+namespace ehpc::trace {
+class TraceSource;
+}
+
 namespace ehpc::schedsim {
+
+/// Compact summary of a streaming replay: counters plus online (P²)
+/// percentiles maintained as jobs retire, since per-job records are not
+/// retained. All zero for batch `run()`.
+struct StreamStats {
+  long jobs_submitted = 0;
+  /// High-water mark of simultaneously tracked JobExec entries — the
+  /// bounded-memory claim of streaming replay is `peak_live_jobs` staying
+  /// proportional to in-flight jobs, independent of trace length.
+  long peak_live_jobs = 0;
+  double response_p50 = 0.0;
+  double response_p99 = 0.0;
+  double completion_p50 = 0.0;
+  double completion_p99 = 0.0;
+};
 
 /// Output of one experiment run, produced identically by both substrates
 /// (the pure performance simulator and the Kubernetes emulation) so their
 /// metrics are directly comparable.
 struct SimResult {
   elastic::RunMetrics metrics;
+  /// Per-job records; empty after `run_stream` (jobs retire to summaries).
   std::vector<elastic::JobRecord> jobs;
   /// Step traces: "util" (used slots / total) and "job.<id>.replicas".
+  /// Empty after `run_stream` — step traces grow with the trace length.
   sim::TraceRecorder trace;
   int rescale_count = 0;  ///< shrink+expand operations executed
+  StreamStats stream;
 };
 
 /// Per-job execution bookkeeping shared by every experiment substrate: the
@@ -43,11 +68,19 @@ struct JobExec {
   bool started = false;
   bool done = false;
 
+  // ---- prun-style per-job limits (negative = unset; see SubmittedJob) ----
+  double queue_timeout_s = -1.0;
+  double task_timeout_s = -1.0;
+  /// Per-job crash budget; falls back to `FaultPlan::max_failed_nodes`.
+  int max_failed_nodes = -1;
+  sim::EventId queue_timeout_event = sim::kInvalidEvent;
+  sim::EventId task_timeout_event = sim::kInvalidEvent;
+
   // ---- fault state (driven by the harness's FaultPlan) ----
   /// Step-time multiplier while a straggler PE drags the job (1 = none);
   /// cleared by the next rescale, which replaces the slow process.
   double slowdown = 1.0;
-  /// Node crashes absorbed so far, charged against `max_failed_nodes`.
+  /// Node crashes absorbed so far, charged against the failure budget.
   int failed_nodes = 0;
   /// `remaining_steps` snapshot at the last disk checkpoint; a failure
   /// rolls the job back to this (the initial snapshot is the full job:
@@ -77,7 +110,13 @@ struct JobExec {
 /// simulator; through the operator's pod/handshake machinery on the
 /// Kubernetes substrate) by overriding the protected hooks.
 ///
-/// Single-shot: one `run()` per harness instance.
+/// Two drive modes, single-shot either way (one run per harness instance):
+///  - `run(mix)`: materialized job list; retains per-job records and step
+///    traces in the result.
+///  - `run_stream(source)`: pulls submissions one at a time from a
+///    TraceSource (at most one pending submission event at any moment) and
+///    retires each finished job to O(1) summaries, so arbitrarily long
+///    traces replay in memory proportional to in-flight jobs.
 class ExecHarness {
  public:
   /// `workloads` is borrowed and must outlive the harness (both substrate
@@ -93,11 +132,23 @@ class ExecHarness {
   /// Execute one job mix to completion and collect metrics/traces.
   SimResult run(const std::vector<SubmittedJob>& mix);
 
+  /// Execute a streaming trace to completion in bounded memory. The source
+  /// must yield at least one job; submissions are pulled lazily in
+  /// submit-time order.
+  SimResult run_stream(trace::TraceSource& source);
+
   /// Install a failure-injection plan. Must be called before `run()`; the
   /// plan's events are scheduled alongside the mix's submissions, so both
   /// substrates execute an identical fault sequence.
   void set_fault_plan(FaultPlan plan);
   const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Observer invoked with each retired job's record during `run_stream`
+  /// (records are otherwise dropped after folding into summaries). Lets
+  /// benchmarks/tests compare online percentiles against exact ones without
+  /// the harness retaining anything.
+  using RetireObserver = std::function<void(const elastic::JobRecord&)>;
+  void set_retire_observer(RetireObserver observer);
 
   elastic::PolicyEngine& engine() { return *engine_; }
   elastic::MetricsCollector& collector() { return *collector_; }
@@ -118,9 +169,16 @@ class ExecHarness {
   /// utilization view here; the cluster substrate records physical pod
   /// usage through its own watch instead.
   virtual void on_actions_applied();
-  /// Called when a job finishes, after its record/trace updates but before
-  /// the policy engine reacts to the completion.
+  /// Called when a started job finishes (completes, fails, or times out),
+  /// after its record/trace updates but before the policy engine reacts.
+  /// Not called for jobs abandoned in the queue — they never reached the
+  /// substrate.
   virtual void on_job_completed(JobExec& exec);
+  /// Whether streaming replay may erase a finished job's JobExec when it
+  /// retires. The pure simulator says yes (this is what bounds memory); the
+  /// cluster substrate says no, because its staged rescale callbacks may
+  /// still dereference the exec after completion.
+  virtual bool retire_completed_execs() const { return true; }
 
   // ---- shared machinery available to substrates ----
   void apply_actions(const std::vector<elastic::Action>& actions);
@@ -128,8 +186,10 @@ class ExecHarness {
   void schedule_completion(elastic::JobId id);
   void complete_job(elastic::JobId id);
   /// Append to the "job.<id>.replicas" step trace at the current time.
+  /// No-op while streaming (step traces grow with trace length).
   void record_replicas(elastic::JobId id, int replicas);
-  /// Record the policy engine's used-slot count into metrics + "util" trace.
+  /// Record the policy engine's used-slot count into metrics + "util" trace
+  /// (the trace write is skipped while streaming).
   void record_engine_usage();
   /// Count a *realized* rescale of job `id` and record the runtime LB step
   /// it implies (the job's calibrated imbalance profile) — call from the
@@ -142,12 +202,34 @@ class ExecHarness {
   JobExec& exec(elastic::JobId id) { return execs_.at(id); }
   std::map<elastic::JobId, JobExec>& execs() { return execs_; }
   sim::TraceRecorder& trace() { return trace_; }
+  /// True inside `run_stream` — substrates gate their own O(events) trace
+  /// recording on this.
+  bool streaming() const { return streaming_; }
 
  private:
+  /// Build the JobExec for one submission (shared by both drive modes).
+  JobExec make_exec(const SubmittedJob& job);
   void submit(const SubmittedJob& job);
-  /// Shared tail of completion and budget-kill: cancel pending work, stamp
-  /// the record, notify the substrate, release the job's slots.
-  void finish_job(elastic::JobId id, bool failed);
+  /// Streaming pump: admit `job` now, then pull and schedule the next
+  /// submission — at most one submission event is pending at any time.
+  void pump_submit(const SubmittedJob& job);
+  /// How a job's execution ended; drives the record flags in finish_job.
+  enum class JobOutcome { kCompleted, kFailed, kTimedOut };
+  /// Shared tail of completion, budget-kill and task timeout: cancel
+  /// pending work, stamp the record, notify the substrate, release the
+  /// job's slots.
+  void finish_job(elastic::JobId id, JobOutcome outcome);
+  /// Queue-timeout event: abandon the job iff the engine still has it
+  /// queued. The guard checks engine state, not `exec.started` — on the
+  /// cluster substrate a job granted a start stays `started=false` until
+  /// its pods are ready, but it is no longer abandonable.
+  void queue_timeout(elastic::JobId id);
+  /// Task-timeout event: kill a still-running job and charge its runtime.
+  void task_timeout(elastic::JobId id);
+  /// Streaming only: fold the finished job's record into the collector and
+  /// online percentiles, drop its engine state, and (if the substrate
+  /// allows) erase its JobExec.
+  void retire_job(elastic::JobId id);
 
   // ---- fault injection (no-ops when the plan is empty) ----
   void schedule_faults();
@@ -164,6 +246,9 @@ class ExecHarness {
   /// Snapshot every running job's progress and charge the checkpoint pause.
   void checkpoint_tick();
   void apply_fault(JobExec& exec, bool is_crash);
+  /// True while work remains: an unfinished exec, or (streaming) a source
+  /// that has not been exhausted — fault chains must survive the gap
+  /// between the current in-flight jobs draining and the next submission.
   bool any_job_unfinished() const;
 
   sim::Simulation& sim_;
@@ -176,6 +261,18 @@ class ExecHarness {
   int rescale_count_ = 0;
   bool used_ = false;
   FaultPlan fault_plan_;
+
+  // ---- streaming state ----
+  bool streaming_ = false;
+  trace::TraceSource* source_ = nullptr;
+  /// True until the source returns nullopt.
+  bool stream_pending_ = false;
+  StreamStats stream_stats_;
+  P2Quantile response_p50_{0.5};
+  P2Quantile response_p99_{0.99};
+  P2Quantile completion_p50_{0.5};
+  P2Quantile completion_p99_{0.99};
+  RetireObserver retire_observer_;
 };
 
 }  // namespace ehpc::schedsim

@@ -8,11 +8,20 @@
 
 namespace ehpc::schedsim {
 
-/// One job of an experiment: its spec, size class, and submission time.
+/// One job of an experiment: its spec, size class, and submission time,
+/// plus the prun-style per-job limits executed by the shared harness.
+/// Negative limits mean "unset": no queue/runtime timeout, and the failure
+/// budget falls back to the run's `FaultPlan::max_failed_nodes`.
 struct SubmittedJob {
   elastic::JobSpec spec;
   elastic::JobClass job_class = elastic::JobClass::kSmall;
   double submit_time = 0.0;
+  /// Seconds the job waits in the queue before abandoning it unstarted.
+  double queue_timeout_s = -1.0;
+  /// Seconds of runtime after which a started job is killed (and charged).
+  double task_timeout_s = -1.0;
+  /// Per-job crash budget overriding `FaultPlan::max_failed_nodes`.
+  int max_failed_nodes = -1;
 };
 
 /// Generates the paper's random experiment mixes (§4.3.1): `num_jobs` jobs

@@ -84,4 +84,13 @@ SimResult SchedSimulator::run(const std::vector<SubmittedJob>& mix) {
   return harness.run(mix);
 }
 
+SimResult SchedSimulator::run_stream(trace::TraceSource& source,
+                                     ExecHarness::RetireObserver observer) {
+  sim::Simulation sim;
+  SimHarness harness(sim, total_slots_, policy_config_, workloads_);
+  harness.set_fault_plan(fault_plan_);
+  if (observer) harness.set_retire_observer(std::move(observer));
+  return harness.run_stream(source);
+}
+
 }  // namespace ehpc::schedsim

@@ -29,6 +29,12 @@ class SchedSimulator {
   /// Simulate one job mix to completion.
   SimResult run(const std::vector<SubmittedJob>& mix);
 
+  /// Replay a streaming trace to completion in memory proportional to
+  /// in-flight jobs (see ExecHarness::run_stream). `observer`, if set, sees
+  /// each job's record as it retires.
+  SimResult run_stream(trace::TraceSource& source,
+                       ExecHarness::RetireObserver observer = nullptr);
+
   /// Failure-injection plan applied to every subsequent `run()`.
   void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
 

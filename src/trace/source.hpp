@@ -1,0 +1,28 @@
+#pragma once
+
+#include <optional>
+
+#include "schedsim/jobmix.hpp"
+
+namespace ehpc::trace {
+
+/// Pull-based stream of job submissions: the front door for every large
+/// workload. `next()` yields jobs in non-decreasing `submit_time` order and
+/// returns nullopt once the stream is exhausted; implementations never
+/// materialize the whole trace, so a consumer that retires finished jobs
+/// (ExecHarness::run_stream) keeps memory proportional to in-flight jobs
+/// regardless of trace length.
+///
+/// This header is intentionally interface-only (no link dependency):
+/// `schedsim` consumes the stream through it while the concrete sources in
+/// `trace/sources.hpp` live in the higher `ehk_trace` module.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// The next job in submit-time order, or nullopt at end of stream. Job
+  /// ids must be unique among jobs that are in flight simultaneously.
+  virtual std::optional<schedsim::SubmittedJob> next() = 0;
+};
+
+}  // namespace ehpc::trace

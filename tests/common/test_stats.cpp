@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "common/error.hpp"
 
 namespace ehpc {
@@ -189,6 +193,99 @@ TEST(Percentile, OutOfRangeQuantileThrows) {
 
 TEST(Percentile, DuplicateValuesInterpolateFlat) {
   EXPECT_DOUBLE_EQ(percentile({2.0, 2.0, 2.0, 9.0}, 0.5), 2.0);
+}
+
+// ---- P² online quantiles ----
+
+/// splitmix64-style generator so the accuracy tests are deterministic and
+/// independent of libstdc++'s distribution implementations.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a counter.
+double u01(std::uint64_t seed, std::uint64_t i) {
+  return static_cast<double>(mix64(seed ^ mix64(i)) >> 11) * 0x1.0p-53;
+}
+
+/// Feeds `samples` to a fresh P2Quantile and checks the estimate against the
+/// exact percentile of the same data, tolerance scaled by the data spread.
+void expect_p2_close(const std::vector<double>& samples, double q,
+                     double rel_tol) {
+  P2Quantile est(q);
+  for (double x : samples) est.add(x);
+  std::vector<double> sorted = samples;
+  const double exact = percentile(sorted, q);
+  const double lo = percentile(sorted, 0.0);
+  const double hi = percentile(sorted, 1.0);
+  const double spread = hi - lo;
+  EXPECT_EQ(est.count(), samples.size());
+  EXPECT_NEAR(est.value(), exact, rel_tol * spread)
+      << "q=" << q << " n=" << samples.size();
+}
+
+TEST(P2Quantile, ExactForFirstFiveSamples) {
+  P2Quantile median(0.5);
+  const std::vector<double> xs{9.0, 1.0, 7.0, 3.0, 5.0};
+  std::vector<double> seen;
+  for (double x : xs) {
+    median.add(x);
+    seen.push_back(x);
+    EXPECT_DOUBLE_EQ(median.value(), percentile(seen, 0.5))
+        << "after " << seen.size() << " samples";
+  }
+}
+
+TEST(P2Quantile, NoSamplesReadsZeroAndBadQuantileThrows) {
+  EXPECT_DOUBLE_EQ(P2Quantile(0.9).value(), 0.0);
+  EXPECT_THROW(P2Quantile(0.0), PreconditionError);
+  EXPECT_THROW(P2Quantile(1.0), PreconditionError);
+  EXPECT_THROW(P2Quantile(-0.5), PreconditionError);
+}
+
+TEST(P2Quantile, UniformAccuracy) {
+  std::vector<double> samples;
+  for (std::uint64_t i = 0; i < 20000; ++i)
+    samples.push_back(u01(1234, i) * 100.0);
+  for (double q : {0.5, 0.9, 0.99}) expect_p2_close(samples, q, 0.01);
+}
+
+TEST(P2Quantile, BimodalAccuracy) {
+  // Two well-separated modes (around 10 and around 1000) — the estimator
+  // must not settle between them for quantiles inside either mode.
+  std::vector<double> samples;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const double u = u01(99, i);
+    const double v = u01(77, i);
+    samples.push_back(u < 0.7 ? 10.0 + v : 1000.0 + 10.0 * v);
+  }
+  expect_p2_close(samples, 0.5, 0.01);   // deep inside the low mode
+  expect_p2_close(samples, 0.9, 0.01);   // inside the high mode
+  expect_p2_close(samples, 0.99, 0.01);  // upper tail of the high mode
+}
+
+TEST(P2Quantile, HeavyTailAccuracy) {
+  // Pareto(alpha=1.5): infinite variance, the documented worst case for P².
+  // Mid quantiles stay tight; the p99 tolerance is looser by design.
+  std::vector<double> samples;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const double u = 1.0 - u01(2025, i);  // (0, 1]
+    samples.push_back(std::pow(u, -1.0 / 1.5));
+  }
+  std::vector<double> sorted = samples;
+  const double exact_p50 = percentile(sorted, 0.5);
+  const double exact_p99 = percentile(sorted, 0.99);
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  for (double x : samples) {
+    p50.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value(), exact_p50, 0.02 * exact_p50);
+  EXPECT_NEAR(p99.value(), exact_p99, 0.25 * exact_p99);
 }
 
 }  // namespace

@@ -110,5 +110,141 @@ TEST(AverageMetrics, EmptyThrows) {
   EXPECT_THROW(average_metrics({}), PreconditionError);
 }
 
+TEST(AverageMetrics, IncludesAbandonedAndTimedOutCounts) {
+  RunMetrics a;
+  a.jobs_abandoned = 2.0;
+  a.jobs_timed_out = 4.0;
+  RunMetrics b;
+  b.jobs_abandoned = 4.0;
+  b.jobs_timed_out = 0.0;
+  const RunMetrics avg = average_metrics({a, b});
+  EXPECT_DOUBLE_EQ(avg.jobs_abandoned, 3.0);
+  EXPECT_DOUBLE_EQ(avg.jobs_timed_out, 2.0);
+}
+
+// Latent bug (pre-fix): an abandoned job has start_time == complete_time,
+// so goodput() took the `span <= 0` branch and returned 1.0 — a job that
+// produced nothing was credited with perfect goodput.
+TEST(JobRecord, AbandonedJobHasZeroGoodput) {
+  JobRecord r = rec(0, 1, 10.0, 50.0, 50.0);
+  r.abandoned = true;
+  EXPECT_EQ(r.goodput(), 0.0);
+}
+
+// Latent bug (pre-fix): a task-timeout kill looked like a normal (early)
+// completion, so the killed job's goodput was ~1 even though its output was
+// discarded and its runtime charged.
+TEST(JobRecord, TimedOutJobHasZeroGoodput) {
+  JobRecord r = rec(0, 1, 0.0, 5.0, 905.0);
+  r.timed_out = true;
+  EXPECT_EQ(r.goodput(), 0.0);
+}
+
+TEST(JobRecord, InstantCompletionWithoutFlagsKeepsFullGoodput) {
+  // The span <= 0 branch still means "no failures, no lost work" for a
+  // genuinely instant job.
+  EXPECT_EQ(rec(0, 1, 10.0, 50.0, 50.0).goodput(), 1.0);
+}
+
+TEST(MetricsCollector, CountsAbandonedAndTimedOutJobs) {
+  MetricsCollector mc(64);
+  mc.add_job(rec(0, 1, 0.0, 0.0, 100.0));
+  JobRecord ab = rec(1, 2, 0.0, 60.0, 60.0);
+  ab.abandoned = true;
+  mc.add_job(ab);
+  JobRecord to = rec(2, 3, 0.0, 10.0, 90.0);
+  to.timed_out = true;
+  mc.add_job(to);
+  const RunMetrics m = mc.compute();
+  EXPECT_DOUBLE_EQ(m.jobs_abandoned, 1.0);
+  EXPECT_DOUBLE_EQ(m.jobs_timed_out, 1.0);
+  EXPECT_DOUBLE_EQ(m.jobs_failed, 0.0);
+  // Mean goodput over {1, 0, 0}.
+  EXPECT_NEAR(m.goodput, 1.0 / 3.0, 1e-12);
+}
+
+// Streaming accumulation must agree with batch accumulation on the same
+// event sequence: exact for every sum-ordered metric, and to rounding for
+// the utilization integral (the summation order differs).
+TEST(MetricsCollector, StreamingMatchesBatch) {
+  MetricsCollector batch(64);
+  MetricsCollector streaming(64);
+  streaming.enable_streaming();
+  EXPECT_TRUE(streaming.streaming());
+  EXPECT_FALSE(batch.streaming());
+
+  struct Usage {
+    double t;
+    int used;
+  };
+  const std::vector<Usage> usage{{0.0, 16}, {40.0, 48}, {110.0, 64},
+                                 {180.0, 32}, {260.0, 0}};
+  // Records arrive in completion order, as they do from the harness.
+  std::vector<JobRecord> records;
+  JobRecord ab = rec(2, 1, 50.0, 95.0, 95.0);
+  ab.abandoned = true;
+  records.push_back(ab);
+  records.push_back(rec(0, 2, 0.0, 5.0, 120.0));
+  JobRecord fl = rec(3, 3, 60.0, 70.0, 210.0);
+  fl.failed = true;
+  fl.lost_work_s = 30.0;
+  fl.recovery_s = 12.0;
+  records.push_back(fl);
+  records.push_back(rec(1, 5, 30.0, 31.0, 260.0));
+
+  for (const auto& r : records) streaming.note_submit(r.submit_time);
+  std::size_t next_usage = 0;
+  for (const auto& r : records) {
+    while (next_usage < usage.size() && usage[next_usage].t <= r.complete_time) {
+      batch.record_usage(usage[next_usage].t, usage[next_usage].used);
+      streaming.record_usage(usage[next_usage].t, usage[next_usage].used);
+      ++next_usage;
+    }
+    batch.add_job(r);
+    streaming.add_job(r);
+  }
+  batch.record_lb_step(1.4, 10.0);
+  streaming.record_lb_step(1.4, 10.0);
+
+  const RunMetrics b = batch.compute();
+  const RunMetrics s = streaming.compute();
+  EXPECT_EQ(b.total_time_s, s.total_time_s);
+  EXPECT_EQ(b.weighted_response_s, s.weighted_response_s);
+  EXPECT_EQ(b.weighted_completion_s, s.weighted_completion_s);
+  EXPECT_EQ(b.jobs_failed, s.jobs_failed);
+  EXPECT_EQ(b.jobs_abandoned, s.jobs_abandoned);
+  EXPECT_EQ(b.jobs_timed_out, s.jobs_timed_out);
+  EXPECT_EQ(b.recovery_time_s, s.recovery_time_s);
+  EXPECT_EQ(b.lost_work_s, s.lost_work_s);
+  EXPECT_EQ(b.goodput, s.goodput);
+  EXPECT_EQ(b.lb_post_ratio, s.lb_post_ratio);
+  EXPECT_NEAR(b.utilization, s.utilization, 1e-12);
+
+  // Streaming retains nothing.
+  EXPECT_TRUE(streaming.jobs().empty());
+  EXPECT_TRUE(streaming.usage_steps().empty());
+  EXPECT_EQ(batch.jobs().size(), records.size());
+}
+
+TEST(MetricsCollector, StreamingUsageAfterLastCompletionDoesNotLeak) {
+  MetricsCollector mc(64);
+  mc.enable_streaming();
+  mc.note_submit(0.0);
+  mc.record_usage(0.0, 64);
+  mc.add_job(rec(0, 1, 0.0, 0.0, 100.0));
+  // Pod teardown events after the last completion must not extend the
+  // utilization window (the batch path truncates the retained trace the
+  // same way).
+  mc.record_usage(150.0, 0);
+  const RunMetrics m = mc.compute();
+  EXPECT_NEAR(m.utilization, 1.0, 1e-12);
+}
+
+TEST(MetricsCollector, EnableStreamingAfterRecordsThrows) {
+  MetricsCollector mc(64);
+  mc.add_job(rec(0, 1, 0.0, 0.0, 10.0));
+  EXPECT_THROW(mc.enable_streaming(), PreconditionError);
+}
+
 }  // namespace
 }  // namespace ehpc::elastic

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 
 namespace ehpc::elastic {
@@ -441,6 +442,59 @@ TEST(PolicyExtensions, QueuedJobsExemptFromCostBenefit) {
   const Action* start = find_action(actions, ActionType::kStart);
   ASSERT_NE(start, nullptr);
   EXPECT_EQ(start->job, 1);
+}
+
+TEST(PolicyEngine, AbandonWithdrawsQueuedJob) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 64, 64, 5), 0.0);
+  eng.submit(spec(1, 32, 32, 1), 1.0);  // queued behind job 0
+  ASSERT_FALSE(eng.job(1).running);
+  eng.abandon(1);
+  EXPECT_TRUE(eng.job(1).completed);
+  EXPECT_EQ(eng.job(1).replicas, 0);
+  // The abandoned job never held slots, so accounting is untouched and a
+  // later completion must not try to start it.
+  EXPECT_EQ(eng.free_slots(), 0);
+  auto actions = eng.complete(0, 100.0);
+  EXPECT_EQ(find_action(actions, ActionType::kStart), nullptr);
+}
+
+TEST(PolicyEngine, AbandonRejectsRunningOrCompletedJobs) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 8, 8, 3), 0.0);
+  EXPECT_THROW(eng.abandon(0), PreconditionError);  // running
+  eng.complete(0, 10.0);
+  EXPECT_THROW(eng.abandon(0), PreconditionError);  // completed
+  EXPECT_THROW(eng.abandon(42), PreconditionError);  // unknown
+}
+
+TEST(PolicyEngine, ForgetDropsCompletedJobState) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 8, 8, 3), 0.0);
+  EXPECT_THROW(eng.forget(0), PreconditionError);  // still running
+  eng.complete(0, 10.0);
+  EXPECT_TRUE(eng.has_job(0));
+  eng.forget(0);
+  EXPECT_FALSE(eng.has_job(0));
+  EXPECT_THROW(eng.forget(0), PreconditionError);  // already forgotten
+  // The id is reusable afterwards — streaming traces recycle nothing, but
+  // the engine must not treat the retired id as a duplicate.
+  EXPECT_NO_THROW(eng.submit(spec(0, 8, 8, 3), 20.0));
+}
+
+TEST(PolicyEngine, EqualPriorityAndTimeTiesBreakByJobId) {
+  PolicyEngine eng(64, elastic_cfg());
+  eng.submit(spec(0, 64, 64, 3), 0.0);
+  // Identical priority AND submission time: the queue order must still be
+  // deterministic — lower job id first.
+  eng.submit(spec(2, 16, 16, 3), 5.0);
+  eng.submit(spec(1, 16, 16, 3), 5.0);
+  auto actions = eng.complete(0, 100.0);
+  std::vector<JobId> started;
+  for (const auto& a : actions) {
+    if (a.type == ActionType::kStart) started.push_back(a.job);
+  }
+  EXPECT_EQ(started, (std::vector<JobId>{1, 2}));
 }
 
 }  // namespace

@@ -27,6 +27,8 @@ inline void expect_identical(const elastic::RunMetrics& a,
   EXPECT_EQ(a.failures, b.failures) << where;
   EXPECT_EQ(a.evictions, b.evictions) << where;
   EXPECT_EQ(a.jobs_failed, b.jobs_failed) << where;
+  EXPECT_EQ(a.jobs_abandoned, b.jobs_abandoned) << where;
+  EXPECT_EQ(a.jobs_timed_out, b.jobs_timed_out) << where;
   EXPECT_EQ(a.recovery_time_s, b.recovery_time_s) << where;
   EXPECT_EQ(a.lost_work_s, b.lost_work_s) << where;
   EXPECT_EQ(a.goodput, b.goodput) << where;
