@@ -6,7 +6,14 @@
 //   c) the checkpoint-period tradeoff at a fixed MTBF: short periods pay
 //      checkpoint overhead, long periods pay lost work;
 //   d) load-balancer ablation under a crash chain on the AMR workload
-//      (fault_lb_ablation): recovery re-placement quality per LB strategy.
+//      (fault_lb_ablation): recovery re-placement quality per LB strategy;
+//   e) rack-level correlated loss (fault_correlated): every policy under
+//      two domain crashes, with the correlated-failure accounting;
+//   e2) amplification: the same policies under an independent single-node
+//      loss at the identical instants — the completion ratio says whether
+//      elastic re-placement absorbs or amplifies the correlated burst;
+//   f) recovery storm (fault_storm): the elastic policy as restore
+//      bandwidth shrinks and concurrent restores start queueing.
 //
 // The experiments are the registered fault scenarios; this driver overlays
 // flags and renders tables.
@@ -151,6 +158,87 @@ void run(bench::Reporter& rep, const Config& cfg) {
          format_double(m.lb_post_ratio, 3)});
   }
 
+  // ---- panel e: rack-level correlated loss, per policy ----
+  scenario::ScenarioSpec correlated =
+      scenario::ScenarioRegistry::instance().require("fault_correlated");
+  correlated.repeats = repeats;
+  correlated.seed = seed;
+  const auto correlated_metrics =
+      scenario::compare_policies(correlated, threads);
+  Table& correlated_table = rep.add_table(
+      "fig_fault_e_correlated",
+      "Fault panel e: rack-level correlated loss (domains " +
+          std::to_string(correlated.faults.domain_sizes.size()) +
+          " x 16 slots, domain crashes at 500/1300 s)",
+      {"policy", "utilization", "completion_s", "recovery_s", "lost_work_s",
+       "goodput", "correlated_failures", "node_failures"});
+  for (const auto mode : correlated.policies) {
+    const auto& m = correlated_metrics.at(mode);
+    correlated_table.add_row(
+        {elastic::to_string(mode), format_double(m.utilization, 3),
+         format_double(m.weighted_completion_s, 2),
+         format_double(m.recovery_time_s, 2),
+         format_double(m.lost_work_s, 2), format_double(m.goodput, 4),
+         format_double(m.correlated_failures, 3),
+         format_double(m.failures, 3)});
+  }
+
+  // ---- panel e2: correlated vs independent loss at the same instants ----
+  // The independent plan replaces each domain crash with a single-node
+  // crash at the identical timestamp; completion_ratio > 1 means the
+  // correlated burst costs more than the sum of its independent parts.
+  scenario::ScenarioSpec independent = correlated;
+  independent.name = "custom";
+  independent.faults.domain_sizes.clear();
+  independent.faults.domain_crashes.clear();
+  for (const auto& crash : correlated.faults.domain_crashes) {
+    independent.faults.crash_times.push_back(crash.time_s);
+  }
+  const auto independent_metrics =
+      scenario::compare_policies(independent, threads);
+  Table& amp_table = rep.add_table(
+      "fig_fault_e2_amplification",
+      "Fault panel e2: correlated domain loss vs independent single-node "
+      "loss at the same instants",
+      {"policy", "completion_corr_s", "completion_indep_s",
+       "completion_ratio", "goodput_corr", "goodput_indep"});
+  for (const auto mode : correlated.policies) {
+    const auto& corr = correlated_metrics.at(mode);
+    const auto& indep = independent_metrics.at(mode);
+    amp_table.add_row(
+        {elastic::to_string(mode),
+         format_double(corr.weighted_completion_s, 2),
+         format_double(indep.weighted_completion_s, 2),
+         format_double(corr.weighted_completion_s /
+                           indep.weighted_completion_s, 4),
+         format_double(corr.goodput, 4), format_double(indep.goodput, 4)});
+  }
+
+  // ---- panel f: recovery storm vs restore bandwidth ----
+  scenario::ScenarioSpec storm =
+      scenario::ScenarioRegistry::instance().require("fault_storm");
+  storm.name = "custom";
+  storm.repeats = repeats;
+  storm.seed = seed;
+  storm.policies = {PolicyMode::kElastic};
+  Table& storm_table = rep.add_table(
+      "fig_fault_f_storm",
+      "Fault panel f: elastic policy as the restore path saturates (32-slot "
+      "domain crash at 600 s; bandwidth 0 = unlimited)",
+      {"restore_bw", "completion_s", "recovery_s", "storm_peak_restorers",
+       "storm_delay_s", "goodput"});
+  for (const double bw : {0.0, 8.0, 4.0, 2.0, 1.0}) {
+    storm.faults.restore_bandwidth = bw;
+    const auto& m = scenario::compare_policies(storm, threads)
+                        .at(PolicyMode::kElastic);
+    storm_table.add_row({format_double(bw, 0),
+                         format_double(m.weighted_completion_s, 2),
+                         format_double(m.recovery_time_s, 2),
+                         format_double(m.storm_peak_restorers, 2),
+                         format_double(m.storm_delay_s, 2),
+                         format_double(m.goodput, 4)});
+  }
+
   std::string note = "(";
   note += std::to_string(repeats);
   note += " random mixes per point, seed ";
@@ -163,7 +251,8 @@ void run(bench::Reporter& rep, const Config& cfg) {
 const bench::RegisterBench kReg{{
     "fig_fault",
     "Failure injection: recovery accounting, MTBF sweep, checkpoint-period "
-    "tradeoff, LB ablation under crashes",
+    "tradeoff, LB ablation under crashes, correlated domain loss, recovery "
+    "storms",
     {{"repeats", "20", "random job mixes per sweep point"},
      {"seed", "2025", "base RNG seed"}},
     {{"repeats", "5"}},

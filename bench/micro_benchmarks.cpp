@@ -14,6 +14,8 @@
 #include "elastic/policy.hpp"
 #include "k8s/cluster.hpp"
 #include "schedsim/calibrate.hpp"
+#include "schedsim/fault.hpp"
+#include "schedsim/jobmix.hpp"
 #include "schedsim/simulator.hpp"
 #include "sim/simulation.hpp"
 #include "trace/sources.hpp"
@@ -292,5 +294,34 @@ void BM_TraceReplay(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * jobs);
 }
 BENCHMARK(BM_TraceReplay)->Arg(1000)->Arg(10000);
+
+// Correlated-recovery hot path: a random mix on 64 slots split into four
+// failure domains, with periodic disk checkpoints and a capped restore
+// path. Every domain crash walks the slot-ownership map, rolls each
+// resident job back to its last durable checkpoint and queues its restore
+// through the shared-bandwidth storm model. Items = jobs simulated.
+void BM_CorrelatedRecovery(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const auto workloads = schedsim::analytic_workloads();
+  elastic::PolicyConfig cfg;
+  cfg.mode = elastic::PolicyMode::kElastic;
+  cfg.rescale_gap_s = 180.0;
+  schedsim::FaultPlan plan;
+  plan.domain_sizes = {16, 16, 16, 16};
+  for (int i = 0; i < 8; ++i) {
+    plan.domain_crashes.push_back({400.0 + 350.0 * i, i % 4});
+  }
+  plan.checkpoint_period_s = 300.0;
+  plan.restore_bandwidth = 2.0;
+  for (auto _ : state) {
+    schedsim::JobMixGenerator generator(2025);
+    const auto mix = generator.generate(jobs, 30.0);
+    schedsim::SchedSimulator simulator(64, cfg, workloads);
+    simulator.set_fault_plan(plan);
+    benchmark::DoNotOptimize(simulator.run(mix));
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_CorrelatedRecovery)->Arg(16)->Arg(64);
 
 }  // namespace

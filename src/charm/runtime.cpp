@@ -611,6 +611,32 @@ void Runtime::disk_checkpoint_then(ExternalEvent continuation) {
 void Runtime::fail_and_recover() { fail_and_recover(disk_checkpoint_pes_); }
 
 void Runtime::fail_and_recover(int surviving_pes) {
+  recover_from_disk(surviving_pes, [](PeId pe) { return pe; });
+}
+
+void Runtime::fail_and_recover(const std::vector<PeId>& failed_pes) {
+  EHPC_EXPECTS(has_disk_checkpoint());
+  EHPC_EXPECTS(!failed_pes.empty());
+  std::vector<PeId> failed = failed_pes;
+  std::sort(failed.begin(), failed.end());
+  EHPC_EXPECTS(std::adjacent_find(failed.begin(), failed.end()) ==
+               failed.end());  // each PE dies once
+  EHPC_EXPECTS(failed.front() >= 0 && failed.back() < disk_checkpoint_pes_);
+  const int surviving =
+      disk_checkpoint_pes_ - static_cast<int>(failed.size());
+  EHPC_EXPECTS(surviving > 0);  // total loss is not recoverable
+  // Survivors keep their relative order but are renumbered contiguously:
+  // old PE p becomes p minus the failed PEs below it. Failed PEs map to the
+  // out-of-range sentinel `surviving`, which the LB seam evicts.
+  recover_from_disk(surviving, [failed, surviving](PeId pe) {
+    const auto it = std::lower_bound(failed.begin(), failed.end(), pe);
+    if (it != failed.end() && *it == pe) return surviving;
+    return static_cast<PeId>(pe - (it - failed.begin()));
+  });
+}
+
+void Runtime::recover_from_disk(int surviving_pes,
+                                const std::function<PeId(PeId)>& remap) {
   EHPC_EXPECTS(!in_handler_);
   EHPC_EXPECTS(has_disk_checkpoint());
   EHPC_EXPECTS(surviving_pes > 0);
@@ -646,7 +672,7 @@ void Runtime::fail_and_recover(int surviving_pes) {
     // footprint is the balance proxy (restore cost ∝ bytes).
     obj.load = rec.modeled_bytes;
     obj.bytes = rec.payload.size();
-    obj.current_pe = rec.pe;
+    obj.current_pe = remap(rec.pe);
     objects.push_back(obj);
   }
   if (!objects.empty()) {

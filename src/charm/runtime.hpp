@@ -209,6 +209,13 @@ class Runtime {
   /// restoring an out-of-range placement.
   void fail_and_recover(int surviving_pes);
 
+  /// Correlated-loss variant: `failed_pes` (checkpoint-time PE numbers,
+  /// unique, at least one survivor) die together; the runtime restarts on
+  /// the survivors, renumbered contiguously with their relative order
+  /// preserved. Elements checkpointed on a surviving PE follow it to its
+  /// new number; elements on a failed PE are re-placed via the LB strategy.
+  void fail_and_recover(const std::vector<PeId>& failed_pes);
+
   bool has_disk_checkpoint() const { return !disk_checkpoint_.empty(); }
   int disk_checkpoints_taken() const { return disk_checkpoints_taken_; }
   int recoveries() const { return recoveries_; }
@@ -308,6 +315,11 @@ class Runtime {
   /// Drop all queued (undelivered) envelopes and rebuild `new_pes` empty PEs.
   void reset_pes(int new_pes);
   void rebuild_node_table();
+  /// Shared recovery path of both fail_and_recover overloads: restart on
+  /// `surviving_pes` PEs, proposing `remap(checkpoint_pe)` as each
+  /// element's placement (out-of-range proposals are evicted by the LB).
+  void recover_from_disk(int surviving_pes,
+                         const std::function<PeId(PeId)>& remap);
 
   // Deliver an envelope to its destination PE at `arrival`.
   void dispatch(EnvIndex env, PeId from_pe, sim::Time send_time);

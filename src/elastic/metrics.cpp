@@ -86,6 +86,15 @@ void MetricsCollector::record_crash() { ++crashes_; }
 
 void MetricsCollector::record_eviction() { ++evictions_; }
 
+void MetricsCollector::record_domain_crash() { ++domain_crashes_; }
+
+void MetricsCollector::record_restore(int concurrent, double delay_s) {
+  EHPC_EXPECTS(concurrent >= 1);
+  EHPC_EXPECTS(delay_s >= 0.0);
+  peak_restorers_ = std::max(peak_restorers_, concurrent);
+  storm_delay_sum_ += delay_s;
+}
+
 RunMetrics MetricsCollector::compute() const {
   RunMetrics m;
   if (lb_count_ > 0) {
@@ -96,6 +105,9 @@ RunMetrics MetricsCollector::compute() const {
   }
   m.failures = static_cast<double>(crashes_);
   m.evictions = static_cast<double>(evictions_);
+  m.correlated_failures = static_cast<double>(domain_crashes_);
+  m.storm_peak_restorers = static_cast<double>(peak_restorers_);
+  m.storm_delay_s = storm_delay_sum_;
 
   if (streaming_) {
     EHPC_EXPECTS(n_jobs_ > 0);
@@ -182,6 +194,9 @@ RunMetrics average_metrics(const std::vector<RunMetrics>& runs) {
     avg.lb_steps += r.lb_steps;
     avg.failures += r.failures;
     avg.evictions += r.evictions;
+    avg.correlated_failures += r.correlated_failures;
+    avg.storm_peak_restorers += r.storm_peak_restorers;
+    avg.storm_delay_s += r.storm_delay_s;
     avg.jobs_failed += r.jobs_failed;
     avg.jobs_abandoned += r.jobs_abandoned;
     avg.jobs_timed_out += r.jobs_timed_out;
@@ -199,6 +214,9 @@ RunMetrics average_metrics(const std::vector<RunMetrics>& runs) {
   avg.lb_steps /= n;
   avg.failures /= n;
   avg.evictions /= n;
+  avg.correlated_failures /= n;
+  avg.storm_peak_restorers /= n;
+  avg.storm_delay_s /= n;
   avg.jobs_failed /= n;
   avg.jobs_abandoned /= n;
   avg.jobs_timed_out /= n;

@@ -64,6 +64,13 @@ struct RunMetrics {
   /// fraction (1.0 = every job spent its whole span progressing).
   double failures = 0.0;            ///< node crashes injected
   double evictions = 0.0;           ///< pod evictions injected
+  /// Correlated domain-crash events that hit at least one running job.
+  double correlated_failures = 0.0;
+  /// Recovery-storm shape: the most restores ever in flight at once, and
+  /// the total extra downtime (seconds, summed over jobs) that restore-
+  /// bandwidth sharing added on top of isolated restores.
+  double storm_peak_restorers = 0.0;
+  double storm_delay_s = 0.0;
   double jobs_failed = 0.0;         ///< jobs killed by the failure budget
   double jobs_abandoned = 0.0;      ///< jobs abandoned by their queue timeout
   double jobs_timed_out = 0.0;      ///< jobs killed by their task timeout
@@ -113,6 +120,14 @@ class MetricsCollector {
   void record_crash();
   void record_eviction();
 
+  /// Count one correlated domain-crash event (the per-victim crashes are
+  /// still counted individually through record_crash).
+  void record_domain_crash();
+  /// Record one checkpoint restore beginning with `concurrent` restores in
+  /// flight (itself included) and `delay_s` of contention stretch added by
+  /// restore-bandwidth sharing.
+  void record_restore(int concurrent, double delay_s);
+
   RunMetrics compute() const;
 
   /// Retained per-job records; empty in streaming mode.
@@ -133,6 +148,9 @@ class MetricsCollector {
   long lb_count_ = 0;
   int crashes_ = 0;
   int evictions_ = 0;
+  int domain_crashes_ = 0;
+  int peak_restorers_ = 0;
+  double storm_delay_sum_ = 0.0;
 
   // Streaming accumulators (mirror the batch compute() pass, in the same
   // per-record order, so the two modes agree).

@@ -31,10 +31,27 @@ CharmJobController::CharmJobController(k8s::Cluster& cluster,
   // Pod phase changes update the owning job's readiness. One check per job
   // per tick: the check reads current state, so several pod events landing
   // on the same tick need only the first to schedule it.
-  cluster_.pods().watch([this](k8s::WatchEvent, const k8s::Pod& pod) {
+  cluster_.pods().watch([this](k8s::WatchEvent event, const k8s::Pod& pod) {
     auto it = pod.meta.labels.find("job");
     if (it == pod.meta.labels.end()) return;
     const std::string job_name = it->second;
+    if (event == k8s::WatchEvent::kDeleted) {
+      // A worker rank the job still wants disappeared — an involuntary
+      // deletion (node-group kill), not one of ours: shrink only removes
+      // ranks >= desired and completion teardown runs with the job already
+      // Completed. Heal by re-reconciling so the rank is recreated.
+      auto role = pod.meta.labels.find("role");
+      if (role != pod.meta.labels.end() && role->second == "worker" &&
+          jobs_.contains(job_name)) {
+        const CharmJob& job = jobs_.get(job_name);
+        const auto dash = pod.meta.name.rfind('-');
+        const int rank = std::atoi(pod.meta.name.substr(dash + 1).c_str());
+        if (job.phase != CharmJobPhase::kCompleted &&
+            job.desired_replicas > 0 && rank < job.desired_replicas) {
+          request_reconcile(job_name);
+        }
+      }
+    }
     if (!readiness_check_pending_.insert(job_name).second) return;
     cluster_.sim().schedule_after(0.0, [this, job_name] {
       readiness_check_pending_.erase(job_name);

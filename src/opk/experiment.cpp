@@ -198,6 +198,36 @@ class ClusterExperiment::Harness final : public schedsim::ExecHarness {
                sim().now());
   }
 
+  /// Correlated node-group kill: delete every victim job's worker pods
+  /// through the k8s store, so the indexed views and batched watchers see
+  /// the burst of deletions and the controller's heal path recreates the
+  /// ranks (the virtual-time recovery charge itself is applied by the
+  /// shared harness, identically to the pure simulator).
+  void on_domain_crash(int domain,
+                       const std::vector<JobId>& victims) override {
+    for (JobId id : victims) {
+      schedsim::JobExec& exec = this->exec(id);
+      const auto& owned =
+          owner_.cluster_.index().pods_with_label("job", exec.job_name);
+      // Copy the names: delete_pod mutates the store, which rewrites the
+      // index sets.
+      const std::vector<std::string> names(owned.begin(), owned.end());
+      for (const std::string& name : names) {
+        const k8s::Pod* pod = owner_.cluster_.pods().find(name);
+        if (pod == nullptr || pod->phase == k8s::PodPhase::kTerminating) {
+          continue;
+        }
+        auto role = pod->meta.labels.find("role");
+        if (role == pod->meta.labels.end() || role->second != "worker") {
+          continue;
+        }
+        owner_.cluster_.delete_pod(name);
+      }
+    }
+    EHPC_DEBUG("opk", "domain %d crash deleted the pods of %zu jobs at t=%.1f",
+               domain, victims.size(), sim().now());
+  }
+
   ClusterExperiment& owner_;
   /// Rescale targets issued before a job's pods came up, by job id.
   std::map<elastic::JobId, int> deferred_rescales_;

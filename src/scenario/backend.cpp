@@ -7,6 +7,7 @@
 #include "opk/experiment.hpp"
 #include "schedsim/calibrate.hpp"
 #include "schedsim/simulator.hpp"
+#include "trace/failures.hpp"
 #include "trace/sources.hpp"
 
 namespace ehpc::scenario {
@@ -15,7 +16,9 @@ SchedSimBackend::SchedSimBackend(
     const ScenarioSpec& spec, elastic::PolicyConfig policy,
     std::map<elastic::JobClass, elastic::Workload> workloads)
     : simulator_(spec.total_slots(), policy, std::move(workloads)) {
-  simulator_.set_fault_plan(spec.faults);
+  // Load any failure trace into explicit events here, so both substrates
+  // hand the harness the identical resolved plan.
+  simulator_.set_fault_plan(trace::resolve_failure_trace(spec.faults));
 }
 
 schedsim::SimResult SchedSimBackend::run(
@@ -38,7 +41,7 @@ schedsim::SimResult ClusterBackend::run(
   config.nodes = spec_.nodes;
   config.cpus_per_node = spec_.cpus_per_node;
   config.policy = policy_;
-  config.faults = spec_.faults;
+  config.faults = trace::resolve_failure_trace(spec_.faults);
   opk::ClusterExperiment experiment(config, workloads_);
   return experiment.run(mix);
 }
@@ -48,7 +51,7 @@ schedsim::SimResult ClusterBackend::run_stream(trace::TraceSource& source) {
   config.nodes = spec_.nodes;
   config.cpus_per_node = spec_.cpus_per_node;
   config.policy = policy_;
-  config.faults = spec_.faults;
+  config.faults = trace::resolve_failure_trace(spec_.faults);
   opk::ClusterExperiment experiment(config, workloads_);
   return experiment.run_stream(source);
 }

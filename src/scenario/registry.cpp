@@ -186,6 +186,36 @@ ScenarioRegistry::ScenarioRegistry() {
   fault_lb.repeats = 20;
   add(fault_lb);
 
+  // Correlated-failure scenarios (ROADMAP "Correlated failures"): the 64
+  // slots split into consecutive failure domains (racks), and domain
+  // crashes kill every PE of a domain atomically at one virtual timestamp.
+  ScenarioSpec fault_correlated;
+  fault_correlated.name = "fault_correlated";
+  fault_correlated.description =
+      "Rack-level correlated loss: four 16-slot failure domains, two domain "
+      "crashes, periodic disk checkpoints — does elastic re-placement absorb "
+      "or amplify the correlated burst?";
+  fault_correlated.faults.domain_sizes = {16, 16, 16, 16};
+  fault_correlated.faults.domain_crashes = {{500.0, 1}, {1300.0, 3}};
+  fault_correlated.faults.checkpoint_period_s = 300.0;
+  fault_correlated.repeats = 20;
+  add(fault_correlated);
+
+  ScenarioSpec fault_storm;
+  fault_storm.name = "fault_storm";
+  fault_storm.description =
+      "Recovery storm: a 32-slot domain crash sends every resident job into "
+      "restore at once while restore_bandwidth caps how many restores the "
+      "storage path sustains concurrently";
+  fault_storm.faults.domain_sizes = {32, 32};
+  fault_storm.faults.domain_crashes = {{600.0, 0}};
+  fault_storm.faults.checkpoint_period_s = 200.0;
+  fault_storm.faults.restore_bandwidth = 2.0;
+  fault_storm.num_jobs = 24;
+  fault_storm.submission_gap_s = 30.0;
+  fault_storm.repeats = 20;
+  add(fault_storm);
+
   // Beyond-paper: the cluster substrate at production scale. Wide rigid
   // jobs (pods_per_job forces min=max) on an O(1000)-node emulated cluster
   // exercise the indexed store/scheduler path; nodes= and pods_per_job= are

@@ -104,6 +104,76 @@ std::vector<double> parse_values(const std::string& text) {
   return out;
 }
 
+std::vector<int> parse_domain_sizes(const std::string& text) {
+  std::vector<int> out;
+  for (const auto& item : split_list(text)) {
+    char* end = nullptr;
+    const long value = std::strtol(item.c_str(), &end, 10);
+    if (end != item.c_str() + item.size() || value <= 0) {
+      throw ConfigError("bad fault_domains entry '" + item + "' in '" + text +
+                        "' (expected positive slot counts)");
+    }
+    out.push_back(static_cast<int>(value));
+  }
+  if (out.empty()) {
+    throw ConfigError("fault_domains list is empty: '" + text + "'");
+  }
+  return out;
+}
+
+std::vector<schedsim::DomainCrash> parse_domain_crashes(
+    const std::string& text) {
+  std::vector<schedsim::DomainCrash> out;
+  for (const auto& item : split_list(text)) {
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) {
+      throw ConfigError("bad fault_domain_crash_times entry '" + item +
+                        "' in '" + text + "' (expected time:domain)");
+    }
+    const std::string time_part = item.substr(0, colon);
+    const std::string domain_part = item.substr(colon + 1);
+    char* end = nullptr;
+    const double time = std::strtod(time_part.c_str(), &end);
+    if (time_part.empty() || end != time_part.c_str() + time_part.size()) {
+      throw ConfigError("bad crash time '" + time_part +
+                        "' in fault_domain_crash_times entry '" + item + "'");
+    }
+    const long domain = std::strtol(domain_part.c_str(), &end, 10);
+    if (domain_part.empty() ||
+        end != domain_part.c_str() + domain_part.size() || domain < 0) {
+      throw ConfigError("bad domain index '" + domain_part +
+                        "' in fault_domain_crash_times entry '" + item + "'");
+    }
+    out.push_back({time, static_cast<int>(domain)});
+  }
+  if (out.empty()) {
+    throw ConfigError("fault_domain_crash_times list is empty: '" + text +
+                      "'");
+  }
+  return out;
+}
+
+std::string join_domain_sizes(const std::vector<int>& sizes) {
+  std::string out;
+  for (const int s : sizes) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(s);
+  }
+  return out;
+}
+
+std::string join_domain_crashes(
+    const std::vector<schedsim::DomainCrash>& crashes) {
+  std::string out;
+  for (const auto& crash : crashes) {
+    if (!out.empty()) out += ',';
+    out += format_double(crash.time_s,
+                         std::floor(crash.time_s) == crash.time_s ? 0 : 3);
+    out += ':' + std::to_string(crash.domain);
+  }
+  return out;
+}
+
 std::string join_policies(const std::vector<PolicyMode>& policies) {
   std::string out;
   for (const auto mode : policies) {
@@ -200,6 +270,15 @@ void ScenarioSpec::validate() const {
   } catch (const std::exception& e) {
     fail(std::string("bad fault plan: ") + e.what());
   }
+  if (!faults.domain_sizes.empty()) {
+    int covered = 0;
+    for (const int s : faults.domain_sizes) covered += s;
+    if (covered > total_slots()) {
+      fail("fault_domains cover " + std::to_string(covered) +
+           " slots but the cluster has only " +
+           std::to_string(total_slots()));
+    }
+  }
 }
 
 const std::vector<std::string>& spec_config_keys() {
@@ -211,6 +290,8 @@ const std::vector<std::string>& spec_config_keys() {
       "fault_times",    "fault_mtbf", "evict_times",   "straggler_at",
       "straggler_factor", "checkpoint_period", "fault_detection",
       "max_failed_nodes",
+      "fault_domains",  "fault_domain_crash_times", "failure_trace_path",
+      "restore_bandwidth",
       "trace",          "trace_jobs", "cron_period",   "cron_phase",
       "cron_end",       "cron_class", "cron_priority", "queue_timeout",
       "task_timeout",
@@ -242,6 +323,13 @@ std::string spec_config_help() {
       "  checkpoint_period=0     disk checkpoint cadence (s); 0 = none\n"
       "  fault_detection=5       crash detection delay before recovery (s)\n"
       "  max_failed_nodes=-1     per-job crash budget (prun); <0 unlimited\n"
+      "  fault_domains=          comma list of failure-domain slot counts\n"
+      "                          (consecutive slot groups, e.g. racks)\n"
+      "  fault_domain_crash_times=  comma list of time:domain correlated\n"
+      "                          crashes (kill every PE of the domain)\n"
+      "  failure_trace_path=     CSV failure trace (time_s,kind[,domain])\n"
+      "  restore_bandwidth=0     concurrent restores sharing the restore\n"
+      "                          path before it saturates; 0 = unlimited\n"
       "  trace=                  CSV job trace to stream (replaces num_jobs)\n"
       "  trace_jobs=0            synthetic streaming trace length; 0 off\n"
       "  cron_period=0           recurring-job submission period (s); 0 off\n"
@@ -286,6 +374,17 @@ ScenarioSpec spec_from_config(const Config& cfg, ScenarioSpec base) {
       cfg.get_double("fault_detection", spec.faults.detection_s);
   spec.faults.max_failed_nodes =
       cfg.get_int("max_failed_nodes", spec.faults.max_failed_nodes);
+  if (auto v = cfg.get("fault_domains")) {
+    spec.faults.domain_sizes = parse_domain_sizes(*v);
+  }
+  if (auto v = cfg.get("fault_domain_crash_times")) {
+    spec.faults.domain_crashes = parse_domain_crashes(*v);
+  }
+  if (auto v = cfg.get("failure_trace_path")) {
+    spec.faults.failure_trace_path = *v;
+  }
+  spec.faults.restore_bandwidth =
+      cfg.get_double("restore_bandwidth", spec.faults.restore_bandwidth);
   if (auto v = cfg.get("trace")) spec.trace_path = *v;
   spec.trace_jobs = cfg.get_int("trace_jobs", static_cast<int>(spec.trace_jobs));
   spec.cron_period_s = cfg.get_double("cron_period", spec.cron_period_s);
@@ -343,6 +442,26 @@ std::string describe(const ScenarioSpec& spec) {
     if (spec.faults.max_failed_nodes >= 0) {
       out += " max_failed_nodes=" +
              std::to_string(spec.faults.max_failed_nodes);
+    }
+    // Correlated-failure keys render only when set, so specs predating
+    // failure domains describe() byte-identically (recorded bench configs).
+    if (!spec.faults.domain_sizes.empty()) {
+      out += " fault_domains=" + join_domain_sizes(spec.faults.domain_sizes);
+    }
+    if (!spec.faults.domain_crashes.empty()) {
+      out += " fault_domain_crash_times=" +
+             join_domain_crashes(spec.faults.domain_crashes);
+    }
+    if (!spec.faults.failure_trace_path.empty()) {
+      out += " failure_trace_path=" + spec.faults.failure_trace_path;
+    }
+    if (spec.faults.restore_bandwidth > 0.0) {
+      out += " restore_bandwidth=" +
+             format_double(spec.faults.restore_bandwidth,
+                           std::floor(spec.faults.restore_bandwidth) ==
+                                   spec.faults.restore_bandwidth
+                               ? 0
+                               : 3);
     }
   }
   // Trace keys render only when set, so specs predating the trace

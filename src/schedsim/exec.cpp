@@ -176,6 +176,7 @@ void ExecHarness::apply_actions(const std::vector<Action>& actions) {
           sim_.cancel(exec.queue_timeout_event);
           exec.queue_timeout_event = sim::kInvalidEvent;
         }
+        set_slot_count(exec, a.target_replicas);
         start_job(a.job, a.target_replicas);
         if (exec.task_timeout_s >= 0.0 && !exec.done) {
           const JobId id = a.job;
@@ -186,9 +187,11 @@ void ExecHarness::apply_actions(const std::vector<Action>& actions) {
         break;
       }
       case ActionType::kShrink:
+        set_slot_count(execs_.at(a.job), a.target_replicas);
         shrink_job(a.job, a.target_replicas);
         break;
       case ActionType::kExpand:
+        set_slot_count(execs_.at(a.job), a.target_replicas);
         expand_job(a.job, a.target_replicas);
         break;
       case ActionType::kEnqueue:
@@ -253,6 +256,9 @@ void ExecHarness::finish_job(JobId id, JobOutcome outcome) {
   }
   record_replicas(id, 0);
   on_job_completed(exec);
+  // Free the job's slots before the engine's follow-up actions, which may
+  // start queued jobs into them.
+  set_slot_count(exec, 0);
   auto actions = engine_->complete(id, sim_.now());
   apply_actions(actions);
   on_actions_applied();
@@ -323,8 +329,20 @@ void ExecHarness::record_engine_usage() {
 
 void ExecHarness::set_fault_plan(FaultPlan plan) {
   EHPC_EXPECTS(!used_);  // install before run()
+  // Failure traces are resolved into explicit events by the scenario layer
+  // (trace::resolve_failure_trace) before a plan reaches a harness.
+  EHPC_EXPECTS(plan.failure_trace_path.empty());
   plan.validate();
+  if (!plan.domain_crashes.empty()) {
+    int mapped = 0;
+    for (int size : plan.domain_sizes) mapped += size;
+    EHPC_EXPECTS(mapped <= total_slots_);  // domains partition the slots
+  }
   fault_plan_ = std::move(plan);
+  track_slots_ = !fault_plan_.domain_crashes.empty();
+  if (track_slots_) {
+    slot_owner_.assign(static_cast<size_t>(total_slots_), -1);
+  }
 }
 
 void ExecHarness::schedule_faults() {
@@ -332,6 +350,11 @@ void ExecHarness::schedule_faults() {
   if (plan.empty()) return;
   for (double t : plan.crash_times) {
     sim_.schedule_at(t, [this] { inject_crash(); });
+  }
+  // Scheduled after single-node crashes: at a shared timestamp, explicit
+  // crashes fire first, then domain kills, then evictions (plan order).
+  for (const DomainCrash& crash : plan.domain_crashes) {
+    sim_.schedule_at(crash.time_s, [this, crash] { inject_domain_crash(crash); });
   }
   for (double t : plan.evict_times) {
     sim_.schedule_at(t, [this] { inject_evict(); });
@@ -394,6 +417,56 @@ void ExecHarness::inject_evict() {
   apply_fault(*victim, /*is_crash=*/false);
 }
 
+void ExecHarness::on_domain_crash(int, const std::vector<JobId>&) {}
+
+void ExecHarness::set_slot_count(JobExec& exec, int target) {
+  if (!track_slots_) return;
+  std::vector<int>& slots = exec.slots;
+  while (static_cast<int>(slots.size()) > target) {
+    slot_owner_[static_cast<size_t>(slots.back())] = -1;
+    slots.pop_back();
+  }
+  int next = 0;
+  while (static_cast<int>(slots.size()) < target) {
+    while (next < total_slots_ && slot_owner_[static_cast<size_t>(next)] >= 0) {
+      ++next;
+    }
+    EHPC_ENSURES(next < total_slots_);  // the engine never oversubscribes
+    slot_owner_[static_cast<size_t>(next)] = exec.record.id;
+    slots.push_back(next);
+  }
+}
+
+void ExecHarness::inject_domain_crash(const DomainCrash& crash) {
+  int lo = 0;
+  for (int d = 0; d < crash.domain; ++d) lo += fault_plan_.domain_sizes[d];
+  const int hi = lo + fault_plan_.domain_sizes[crash.domain];
+  // Victims: running jobs owning a slot in [lo, hi), ascending id order
+  // (slots are scanned in order and ids deduplicated on insert).
+  std::vector<JobId> victims;
+  for (int s = lo; s < hi; ++s) {
+    const JobId owner = slot_owner_[static_cast<size_t>(s)];
+    if (owner < 0) continue;
+    const JobExec& exec = execs_.at(owner);
+    if (!exec.started || exec.done) continue;
+    if (std::find(victims.begin(), victims.end(), owner) == victims.end()) {
+      victims.push_back(owner);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  if (victims.empty()) return;
+  collector_->record_domain_crash();
+  on_domain_crash(crash.domain, victims);
+  EHPC_DEBUG("schedsim", "domain %d crash at t=%.1f takes down %zu jobs",
+             crash.domain, sim_.now(), victims.size());
+  for (JobId id : victims) {
+    JobExec& exec = execs_.at(id);
+    if (exec.done) continue;  // killed by an earlier victim's budget cascade
+    collector_->record_crash();
+    apply_fault(exec, /*is_crash=*/true);
+  }
+}
+
 void ExecHarness::apply_fault(JobExec& exec, bool is_crash) {
   const JobId id = exec.record.id;
   const double now = sim_.now();
@@ -401,10 +474,24 @@ void ExecHarness::apply_fault(JobExec& exec, bool is_crash) {
   // checkpoint. For a job paused by an in-flight rescale the pause stacks,
   // exactly like a second rescale would.
   exec.accrue_until(now);
+  // A staged checkpoint whose write completed by now (inclusive: a crash at
+  // exactly the completion instant reads the fresh file) is durable and
+  // becomes the rollback target; one still mid-write died with the process
+  // and is discarded, rolling back to the previous completed checkpoint.
+  if (exec.pending_ckpt_steps >= 0.0) {
+    if (now >= exec.pending_ckpt_done_s) {
+      exec.ckpt_remaining_steps = exec.pending_ckpt_steps;
+    }
+    exec.pending_ckpt_steps = -1.0;
+  }
   const double lost_steps = exec.ckpt_remaining_steps - exec.remaining_steps;
   EHPC_ENSURES(lost_steps >= 0.0);
   exec.record.lost_work_s += lost_steps * exec.step_time();
   exec.remaining_steps = exec.ckpt_remaining_steps;
+  // The fault restarts every process of the job, so a straggler PE dies
+  // with it; the lost work above was charged at the slowed rate, and the
+  // budget-kill path below must also see a clean exec.
+  exec.slowdown = 1.0;
 
   if (is_crash) {
     ++exec.failed_nodes;
@@ -425,12 +512,33 @@ void ExecHarness::apply_fault(JobExec& exec, bool is_crash) {
   // synchronously), process restart, and a state restore from disk rather
   // than /dev/shm.
   const auto& rescale = exec.workload.rescale;
-  const double downtime =
-      (is_crash ? fault_plan_.detection_s : 0.0) +
-      rescale.restart_s(exec.replicas) +
+  const double lead = (is_crash ? fault_plan_.detection_s : 0.0) +
+                      rescale.restart_s(exec.replicas);
+  double restore =
       rescale.restore_s(exec.replicas, exec.replicas) * fault_plan_.disk_factor;
+  // Recovery-storm contention: this job's restore window opens once its
+  // detection + restart lead time has elapsed; restores still in flight at
+  // that instant share the disk array, stretching every newcomer by
+  // concurrent / restore_bandwidth (0 = unlimited, no contention).
+  const double restore_begin = std::max(exec.accrue_from, now) + lead;
+  restore_ends_.erase(
+      std::remove_if(restore_ends_.begin(), restore_ends_.end(),
+                     [restore_begin](double end) { return end <= restore_begin; }),
+      restore_ends_.end());
+  const int concurrent = static_cast<int>(restore_ends_.size()) + 1;
+  double storm_delay = 0.0;
+  if (fault_plan_.restore_bandwidth > 0.0 &&
+      static_cast<double>(concurrent) > fault_plan_.restore_bandwidth) {
+    const double stretched =
+        restore * static_cast<double>(concurrent) / fault_plan_.restore_bandwidth;
+    storm_delay = stretched - restore;
+    restore = stretched;
+  }
+  collector_->record_restore(concurrent, storm_delay);
+  const double downtime = lead + restore;
   exec.record.recovery_s += downtime;
   exec.accrue_from = std::max(exec.accrue_from, now) + downtime;
+  restore_ends_.push_back(exec.accrue_from);
   schedule_completion(id);
   EHPC_DEBUG("schedsim", "%s hit job %d at t=%.1f: %.1f steps lost, %.2fs down",
              is_crash ? "crash" : "eviction", id, now, lost_steps, downtime);
@@ -456,11 +564,19 @@ void ExecHarness::checkpoint_tick() {
     if (exec.accrue_from > now) continue;
     exec.accrue_until(now);
     exec.accrue_from = now;
-    exec.ckpt_remaining_steps = exec.remaining_steps;
-    // Writing the checkpoint pauses the job for its modeled checkpoint
-    // stage at disk (not /dev/shm) bandwidth.
+    // A snapshot staged by an earlier tick has finished writing by now (the
+    // write pause keeps accrue_from in the future until it completes, and
+    // paused jobs are skipped above): commit it as the rollback target.
+    if (exec.pending_ckpt_steps >= 0.0) {
+      exec.ckpt_remaining_steps = exec.pending_ckpt_steps;
+    }
+    // Stage this tick's snapshot; writing it pauses the job for its modeled
+    // checkpoint stage at disk (not /dev/shm) bandwidth, and it only
+    // becomes the rollback target once that write completes.
+    exec.pending_ckpt_steps = exec.remaining_steps;
     exec.accrue_from +=
         exec.workload.rescale.checkpoint_s(exec.replicas) * fault_plan_.disk_factor;
+    exec.pending_ckpt_done_s = exec.accrue_from;
     exec.record.recovery_s += exec.accrue_from - now;
     schedule_completion(id);
   }

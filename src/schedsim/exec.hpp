@@ -82,10 +82,20 @@ struct JobExec {
   double slowdown = 1.0;
   /// Node crashes absorbed so far, charged against the failure budget.
   int failed_nodes = 0;
-  /// `remaining_steps` snapshot at the last disk checkpoint; a failure
-  /// rolls the job back to this (the initial snapshot is the full job:
-  /// without checkpoints a failure restarts from scratch).
+  /// `remaining_steps` snapshot at the last *completed* disk checkpoint; a
+  /// failure rolls the job back to this (the initial snapshot is the full
+  /// job: without checkpoints a failure restarts from scratch).
   double ckpt_remaining_steps = 0.0;
+  /// Snapshot staged by an in-flight checkpoint write (-1 = none). It
+  /// becomes the rollback target only once the write completes at
+  /// `pending_ckpt_done_s`: a fault strictly inside the write window
+  /// discards it (the half-written file died with the process), while a
+  /// fault at exactly the completion instant keeps it (inclusive).
+  double pending_ckpt_steps = -1.0;
+  double pending_ckpt_done_s = 0.0;
+  /// Slots (PEs) this job occupies in the harness's deterministic slot
+  /// model; maintained only when the plan defines failure domains.
+  std::vector<int> slots;
 
   /// Seconds per step at the current replica count (and straggler state).
   double step_time() const {
@@ -179,6 +189,13 @@ class ExecHarness {
   /// cluster substrate says no, because its staged rescale callbacks may
   /// still dereference the exec after completion.
   virtual bool retire_completed_execs() const { return true; }
+  /// Called when a correlated domain crash is about to fault `victims`
+  /// (running jobs with a worker in `domain`, ascending id order), before
+  /// any of them is rolled back. The cluster substrate kills the victims'
+  /// worker pods through the k8s store here so the indexed views and
+  /// batched watchers observe the burst of deletions.
+  virtual void on_domain_crash(int domain,
+                               const std::vector<elastic::JobId>& victims);
 
   // ---- shared machinery available to substrates ----
   void apply_actions(const std::vector<elastic::Action>& actions);
@@ -233,6 +250,14 @@ class ExecHarness {
 
   // ---- fault injection (no-ops when the plan is empty) ----
   void schedule_faults();
+  /// Resize `exec`'s slot set to `target` in the deterministic slot model:
+  /// growth takes the lowest free slots, shrinking releases the
+  /// highest-numbered ones. Driven by policy *actions* (not substrate
+  /// completion of them), so both substrates agree on slot ownership at
+  /// every virtual instant. No-op unless the plan defines domains.
+  void set_slot_count(JobExec& exec, int target);
+  /// Correlated event: crash every running job with a slot in the domain.
+  void inject_domain_crash(const DomainCrash& crash);
   /// The widest running job (ties: lowest id); nullptr when none is running.
   JobExec* pick_victim();
   /// Roll the victim back to its last checkpoint and charge recovery
@@ -261,6 +286,13 @@ class ExecHarness {
   int rescale_count_ = 0;
   bool used_ = false;
   FaultPlan fault_plan_;
+  /// Slot → owning job id (-1 = free); sized and maintained only when the
+  /// plan defines failure domains (`track_slots_`).
+  std::vector<elastic::JobId> slot_owner_;
+  bool track_slots_ = false;
+  /// End times of restores currently in flight (recovery-storm model);
+  /// entries ending before a new restore begins are pruned as it starts.
+  std::vector<double> restore_ends_;
 
   // ---- streaming state ----
   bool streaming_ = false;

@@ -6,7 +6,8 @@ namespace ehpc::schedsim {
 
 bool FaultPlan::empty() const {
   return crash_times.empty() && crash_mtbf_s <= 0.0 && evict_times.empty() &&
-         straggler_at_s < 0.0 && checkpoint_period_s <= 0.0;
+         straggler_at_s < 0.0 && checkpoint_period_s <= 0.0 &&
+         domain_crashes.empty() && failure_trace_path.empty();
 }
 
 void FaultPlan::validate() const {
@@ -16,7 +17,15 @@ void FaultPlan::validate() const {
   EHPC_EXPECTS(checkpoint_period_s >= 0.0);
   EHPC_EXPECTS(detection_s >= 0.0);
   EHPC_EXPECTS(disk_factor > 0.0);
+  EHPC_EXPECTS(restore_bandwidth >= 0.0);
   if (straggler_at_s >= 0.0) EHPC_EXPECTS(straggler_factor >= 1.0);
+  for (int size : domain_sizes) EHPC_EXPECTS(size > 0);
+  for (const DomainCrash& dc : domain_crashes) {
+    EHPC_EXPECTS(!domain_sizes.empty());  // crashes need a domain map
+    EHPC_EXPECTS(dc.time_s >= 0.0);
+    EHPC_EXPECTS(dc.domain >= 0 &&
+                 dc.domain < static_cast<int>(domain_sizes.size()));
+  }
 }
 
 }  // namespace ehpc::schedsim

@@ -1,0 +1,133 @@
+#include "trace/failures.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ehpc::trace {
+
+namespace {
+
+/// Strict field parsers (the CsvTraceSource discipline): the whole field
+/// must be consumed, so "12x" or an empty field is an error.
+long parse_long(const std::string& field, const std::string& what,
+                const std::string& path, long line) {
+  char* end = nullptr;
+  const long value = std::strtol(field.c_str(), &end, 10);
+  if (field.empty() || end != field.c_str() + field.size()) {
+    throw PreconditionError(path + ":" + std::to_string(line) + ": bad " +
+                            what + " '" + field + "'");
+  }
+  return value;
+}
+
+double parse_double(const std::string& field, const std::string& what,
+                    const std::string& path, long line) {
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (field.empty() || end != field.c_str() + field.size()) {
+    throw PreconditionError(path + ":" + std::to_string(line) + ": bad " +
+                            what + " '" + field + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+CsvFailureTraceSource::CsvFailureTraceSource(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw PreconditionError("cannot open failure trace file: " + path);
+
+  std::string line;
+  long line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::istringstream ls(line);
+    std::vector<std::string> fields;
+    std::string field;
+    while (std::getline(ls, field, ',')) fields.push_back(field);
+    if (fields.size() < 2 || fields.size() > 3) {
+      throw PreconditionError(
+          path + ":" + std::to_string(line_number) + ": expected 2-3 fields "
+          "(time_s,kind[,domain]), got " + std::to_string(fields.size()) +
+          " in '" + line + "'");
+    }
+
+    FailureEvent event;
+    event.time_s = parse_double(fields[0], "event time", path, line_number);
+    if (event.time_s < 0.0) {
+      throw PreconditionError(path + ":" + std::to_string(line_number) +
+                              ": negative event time '" + fields[0] + "'");
+    }
+    if (fields[1] == "crash") {
+      event.kind = FailureEvent::Kind::kCrash;
+    } else if (fields[1] == "evict") {
+      event.kind = FailureEvent::Kind::kEvict;
+    } else if (fields[1] == "domain") {
+      event.kind = FailureEvent::Kind::kDomain;
+    } else {
+      throw PreconditionError(path + ":" + std::to_string(line_number) +
+                              ": unknown event kind '" + fields[1] +
+                              "' (expected crash, evict or domain)");
+    }
+    if (event.kind == FailureEvent::Kind::kDomain) {
+      if (fields.size() != 3) {
+        throw PreconditionError(path + ":" + std::to_string(line_number) +
+                                ": kind=domain requires a domain field");
+      }
+      event.domain = static_cast<int>(
+          parse_long(fields[2], "domain index", path, line_number));
+      if (event.domain < 0) {
+        throw PreconditionError(path + ":" + std::to_string(line_number) +
+                                ": negative domain index '" + fields[2] + "'");
+      }
+    } else if (fields.size() == 3) {
+      throw PreconditionError(path + ":" + std::to_string(line_number) +
+                              ": a domain field is only allowed with "
+                              "kind=domain");
+    }
+
+    if (!events_.empty() && event.time_s < events_.back().time_s) {
+      throw PreconditionError(
+          path + ":" + std::to_string(line_number) +
+          ": event time goes backwards (" + std::to_string(event.time_s) +
+          " after " + std::to_string(events_.back().time_s) +
+          "); failure traces must be sorted by time");
+    }
+    events_.push_back(event);
+  }
+  // An outage log with no events is a misconfiguration, not a quiet run.
+  if (events_.empty()) {
+    throw PreconditionError("failure trace file has no events: " + path);
+  }
+}
+
+schedsim::FaultPlan resolve_failure_trace(schedsim::FaultPlan plan) {
+  if (plan.failure_trace_path.empty()) return plan;
+  const CsvFailureTraceSource source(plan.failure_trace_path);
+  for (const FailureEvent& event : source.events()) {
+    switch (event.kind) {
+      case FailureEvent::Kind::kCrash:
+        plan.crash_times.push_back(event.time_s);
+        break;
+      case FailureEvent::Kind::kEvict:
+        plan.evict_times.push_back(event.time_s);
+        break;
+      case FailureEvent::Kind::kDomain:
+        plan.domain_crashes.push_back({event.time_s, event.domain});
+        break;
+    }
+  }
+  plan.failure_trace_path.clear();
+  // Re-check the merged plan: a trace may reference a domain the plan's
+  // domain map does not define, which validate() rejects with context.
+  plan.validate();
+  return plan;
+}
+
+}  // namespace ehpc::trace

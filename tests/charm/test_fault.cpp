@@ -279,6 +279,76 @@ TEST(FaultRaces, FailureInsideEntryMethodIsAContractViolation) {
   EXPECT_TRUE(app.driver().finished());
 }
 
+TEST(FaultTolerance, CorrelatedLossRemapsSurvivorsPreservingOrder) {
+  // Lose PEs {1, 2} of 4 together (one failure domain): survivors {0, 3}
+  // renumber to {0, 1} with their relative order preserved, and every
+  // element must land on a surviving PE.
+  Runtime rt(pes(4));
+  apps::Jacobi2D app(rt, small_jacobi(12));
+  app.driver().set_disk_checkpoint_period(4);
+  app.driver().at_iteration(6, [](Runtime& r) {
+    r.fail_and_recover(std::vector<PeId>{1, 2});
+  });
+  app.start();
+  rt.run();
+  EXPECT_TRUE(app.driver().finished());
+  EXPECT_EQ(rt.num_pes(), 2);
+  EXPECT_EQ(rt.recoveries(), 1);
+  for (ElementId e = 0; e < rt.num_elements(0); ++e) {
+    EXPECT_GE(rt.pe_of(0, e), 0) << "element " << e;
+    EXPECT_LT(rt.pe_of(0, e), 2) << "element " << e;
+  }
+}
+
+TEST(FaultTolerance, CorrelatedLossRecoveryPreservesNumerics) {
+  auto final_residual = [](bool fail) {
+    Runtime rt(pes(8));
+    apps::Jacobi2D app(rt, small_jacobi(12));
+    app.driver().set_disk_checkpoint_period(4);
+    if (fail) {
+      // A non-contiguous failed set: the remap must renumber around holes.
+      app.driver().at_iteration(6, [](Runtime& r) {
+        r.fail_and_recover(std::vector<PeId>{0, 2, 5});
+      });
+    }
+    app.start();
+    rt.run();
+    EXPECT_TRUE(app.driver().finished());
+    if (fail) {
+      EXPECT_EQ(rt.num_pes(), 5);
+    }
+    return app.residual();
+  };
+  EXPECT_DOUBLE_EQ(final_residual(true), final_residual(false));
+}
+
+TEST(FaultTolerance, CorrelatedLossValidatesTheFailedSet) {
+  Runtime rt(pes(4));
+  apps::Jacobi2D app(rt, small_jacobi(12));
+  app.driver().set_disk_checkpoint_period(4);
+  bool checked = false;
+  app.driver().at_iteration(6, [&checked](Runtime& r) {
+    // Duplicates, out-of-range PEs, an empty set and a set with no
+    // survivor are all contract violations.
+    EXPECT_THROW(r.fail_and_recover(std::vector<PeId>{1, 1}),
+                 PreconditionError);
+    EXPECT_THROW(r.fail_and_recover(std::vector<PeId>{4}),
+                 PreconditionError);
+    EXPECT_THROW(r.fail_and_recover(std::vector<PeId>{-1}),
+                 PreconditionError);
+    EXPECT_THROW(r.fail_and_recover(std::vector<PeId>{}),
+                 PreconditionError);
+    EXPECT_THROW(r.fail_and_recover(std::vector<PeId>{0, 1, 2, 3}),
+                 PreconditionError);
+    checked = true;
+  });
+  app.start();
+  rt.run();
+  EXPECT_TRUE(checked);
+  EXPECT_TRUE(app.driver().finished());
+  EXPECT_EQ(rt.recoveries(), 0);
+}
+
 TEST(FaultTolerance, DiskSlowerThanSharedMemory) {
   // The disk checkpoint of the same state must cost more virtual time than
   // the in-memory rescale checkpoint stage.

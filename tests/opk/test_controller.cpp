@@ -128,6 +128,50 @@ TEST(CharmJobController, PendingWhenClusterFull) {
   EXPECT_EQ(f.worker_pods("late", k8s::PodPhase::kRunning), 8);
 }
 
+TEST(CharmJobController, InvoluntaryWorkerDeletionIsHealed) {
+  // A worker rank the job still wants disappears (node-group kill): the
+  // pods-watch heal path must re-reconcile and recreate exactly that rank.
+  // Regression: the watch used to ignore kDeleted events entirely, so an
+  // involuntary deletion silently shrank the job forever.
+  Fixture f;
+  f.jobs.add(f.make_job("j1", 8));
+  f.cluster.sim().run();
+  ASSERT_EQ(f.worker_pods("j1", k8s::PodPhase::kRunning), 8);
+  f.cluster.delete_pod("j1-worker-2");
+  f.cluster.sim().run();
+  EXPECT_EQ(f.worker_pods("j1", k8s::PodPhase::kRunning), 8);
+  EXPECT_TRUE(f.cluster.pods().contains("j1-worker-2"));
+  EXPECT_EQ(f.jobs.get("j1").ready_replicas, 8);
+}
+
+TEST(CharmJobController, DeletionBurstAcrossJobsIsHealed) {
+  // Several workers of several jobs die at one instant (a correlated
+  // domain kill): every missing wanted rank comes back.
+  Fixture f;
+  f.jobs.add(f.make_job("j1", 8));
+  f.jobs.add(f.make_job("j2", 8));
+  f.cluster.sim().run();
+  for (const char* name :
+       {"j1-worker-0", "j1-worker-5", "j2-worker-1", "j2-worker-7"}) {
+    f.cluster.delete_pod(name);
+  }
+  f.cluster.sim().run();
+  EXPECT_EQ(f.worker_pods("j1", k8s::PodPhase::kRunning), 8);
+  EXPECT_EQ(f.worker_pods("j2", k8s::PodPhase::kRunning), 8);
+}
+
+TEST(CharmJobController, CompletedJobDeletionsAreNotHealed) {
+  // Teardown deletions of a Completed job must not re-trigger reconcile
+  // into recreating pods.
+  Fixture f;
+  f.jobs.add(f.make_job("j1", 8));
+  f.cluster.sim().run();
+  f.jobs.mutate("j1", [](CharmJob& j) { j.phase = CharmJobPhase::kCompleted; });
+  f.cluster.sim().run();
+  EXPECT_EQ(f.worker_pods("j1", k8s::PodPhase::kRunning), 0);
+  EXPECT_EQ(f.cluster.used_cpus(), 0);
+}
+
 TEST(CharmJobController, PhaseNames) {
   EXPECT_EQ(to_string(CharmJobPhase::kQueued), "Queued");
   EXPECT_EQ(to_string(CharmJobPhase::kResizing), "Resizing");

@@ -121,6 +121,52 @@ TEST(ClusterFaults, EvictionsDoNotChargeTheFailureBudget) {
   EXPECT_EQ(result.metrics.jobs_failed, 0.0);
 }
 
+TEST(ClusterFaults, DomainCrashKillsResidentJobsAndHeals) {
+  // A 32-slot failure domain dies at 60 s with two narrow jobs resident in
+  // it. Both are rolled back (one correlated event, one crash per victim),
+  // their worker pods are deleted through the k8s store in one burst, and
+  // the controller's heal path recreates the ranks so both still finish.
+  auto workloads = schedsim::analytic_workloads();
+  ExperimentConfig cfg = config(PolicyMode::kRigidMin);
+  cfg.faults.domain_sizes = {32, 32};
+  cfg.faults.domain_crashes = {{60.0, 0}};
+  cfg.faults.checkpoint_period_s = 25.0;
+  ClusterExperiment exp(cfg, workloads);
+  // Rigid-min keeps both jobs at min width, so they stay on the lowest
+  // slots — both inside domain 0 when the crash lands.
+  const auto result = exp.run({job(0, JobClass::kMedium, 3, 0.0),
+                               job(1, JobClass::kSmall, 2, 5.0)});
+  ASSERT_EQ(result.jobs.size(), 2u);
+  for (const auto& rec : result.jobs) {
+    EXPECT_FALSE(rec.failed);
+    EXPECT_GT(rec.recovery_s, 0.0);
+  }
+  EXPECT_EQ(result.metrics.correlated_failures, 1.0);
+  EXPECT_EQ(result.metrics.failures, 2.0);
+  EXPECT_LT(result.metrics.goodput, 1.0);
+  EXPECT_EQ(exp.cluster().bound_cpus(), 0);
+}
+
+TEST(ClusterFaults, DomainCrashOutsideResidentSlotsIsHarmless) {
+  // The second domain holds no job at crash time: the crash is a no-op —
+  // no victims, no rollback, no correlated-failure event recorded, and the
+  // run is indistinguishable from one without the crash (recovery_s still
+  // carries the periodic checkpoint write pauses in both).
+  auto workloads = schedsim::analytic_workloads();
+  auto run_with = [&](bool crash) {
+    ExperimentConfig cfg = config(PolicyMode::kRigidMin);
+    cfg.faults.domain_sizes = {32, 32};
+    if (crash) cfg.faults.domain_crashes = {{60.0, 1}};
+    cfg.faults.checkpoint_period_s = 25.0;
+    ClusterExperiment exp(cfg, workloads);
+    const auto result = exp.run({job(0, JobClass::kSmall, 3, 0.0)});
+    EXPECT_EQ(result.metrics.failures, 0.0);
+    EXPECT_EQ(result.metrics.correlated_failures, 0.0);
+    return result.jobs.at(0).complete_time;
+  };
+  EXPECT_DOUBLE_EQ(run_with(true), run_with(false));
+}
+
 TEST(ClusterFaults, StragglerSlowsJobUntilRescale) {
   auto workloads = schedsim::analytic_workloads();
   auto run_with = [&](double factor) {

@@ -32,6 +32,9 @@ inline void expect_identical(const elastic::RunMetrics& a,
   EXPECT_EQ(a.recovery_time_s, b.recovery_time_s) << where;
   EXPECT_EQ(a.lost_work_s, b.lost_work_s) << where;
   EXPECT_EQ(a.goodput, b.goodput) << where;
+  EXPECT_EQ(a.correlated_failures, b.correlated_failures) << where;
+  EXPECT_EQ(a.storm_peak_restorers, b.storm_peak_restorers) << where;
+  EXPECT_EQ(a.storm_delay_s, b.storm_delay_s) << where;
 }
 
 inline void expect_identical(const SweepResult& serial,

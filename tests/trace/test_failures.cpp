@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "trace/failures.hpp"
+
+namespace ehpc::trace {
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << body;
+  return path;
+}
+
+TEST(CsvFailureTraceSource, ParsesAllKinds) {
+  const std::string path = write_temp(
+      "failures_full.csv",
+      "# time_s,kind[,domain]\n"
+      "100,crash\n"
+      "\n"
+      "250.5,evict\n"
+      "400,domain,2\n"
+      "400,crash\n");
+  const CsvFailureTraceSource source(path);
+  const auto& events = source.events();
+  ASSERT_EQ(events.size(), 4u);
+
+  EXPECT_EQ(events[0].time_s, 100.0);
+  EXPECT_EQ(events[0].kind, FailureEvent::Kind::kCrash);
+  EXPECT_EQ(events[1].time_s, 250.5);
+  EXPECT_EQ(events[1].kind, FailureEvent::Kind::kEvict);
+  EXPECT_EQ(events[2].time_s, 400.0);
+  EXPECT_EQ(events[2].kind, FailureEvent::Kind::kDomain);
+  EXPECT_EQ(events[2].domain, 2);
+  // Ties in time are legal; only strictly backwards times are rejected.
+  EXPECT_EQ(events[3].time_s, 400.0);
+  EXPECT_EQ(events[3].kind, FailureEvent::Kind::kCrash);
+}
+
+// Every parse failure must be a hard error naming the 1-based line number,
+// same discipline as CsvTraceSource.
+TEST(CsvFailureTraceSource, MalformedLinesErrorWithLineNumbers) {
+  struct Case {
+    const char* name;
+    const char* body;
+    const char* line_tag;
+  };
+  const std::vector<Case> cases{
+      {"f_bad_time.csv", "12abc,crash\n", ":1:"},
+      {"f_neg_time.csv", "-5,crash\n", ":1:"},
+      {"f_bad_kind.csv", "10,explode\n", ":1:"},
+      {"f_missing_field.csv", "10\n", ":1:"},
+      {"f_too_many_fields.csv", "10,crash,1,2\n", ":1:"},
+      {"f_domain_without_index.csv", "10,domain\n", ":1:"},
+      {"f_bad_domain.csv", "10,domain,two\n", ":1:"},
+      {"f_neg_domain.csv", "10,domain,-1\n", ":1:"},
+      {"f_crash_with_domain.csv", "10,crash,0\n", ":1:"},
+      {"f_backwards.csv", "# log\n100,crash\n50,evict\n", ":3:"},
+  };
+  for (const Case& c : cases) {
+    const std::string path = write_temp(c.name, c.body);
+    try {
+      CsvFailureTraceSource source(path);
+      FAIL() << c.name << ": expected PreconditionError";
+    } catch (const PreconditionError& err) {
+      EXPECT_NE(std::string(err.what()).find(c.line_tag), std::string::npos)
+          << c.name << ": " << err.what();
+    }
+  }
+}
+
+TEST(CsvFailureTraceSource, MissingFileAndEmptyTraceAreErrors) {
+  EXPECT_THROW(CsvFailureTraceSource("/nonexistent/failures.csv"),
+               PreconditionError);
+  const std::string path =
+      write_temp("failures_empty.csv", "# only comments\n\n");
+  EXPECT_THROW(CsvFailureTraceSource{path}, PreconditionError);
+}
+
+TEST(ResolveFailureTrace, AppendsEventsAndClearsPath) {
+  const std::string path = write_temp("failures_resolve.csv",
+                                      "100,crash\n"
+                                      "200,evict\n"
+                                      "300,domain,1\n");
+  schedsim::FaultPlan plan;
+  plan.crash_times = {10.0};
+  plan.domain_sizes = {32, 32};
+  plan.failure_trace_path = path;
+  const schedsim::FaultPlan resolved = resolve_failure_trace(plan);
+
+  EXPECT_TRUE(resolved.failure_trace_path.empty());
+  EXPECT_EQ(resolved.crash_times, (std::vector<double>{10.0, 100.0}));
+  EXPECT_EQ(resolved.evict_times, (std::vector<double>{200.0}));
+  ASSERT_EQ(resolved.domain_crashes.size(), 1u);
+  EXPECT_EQ(resolved.domain_crashes[0].time_s, 300.0);
+  EXPECT_EQ(resolved.domain_crashes[0].domain, 1);
+}
+
+TEST(ResolveFailureTrace, PlanWithoutTracePassesThrough) {
+  schedsim::FaultPlan plan;
+  plan.crash_times = {42.0};
+  const schedsim::FaultPlan resolved = resolve_failure_trace(plan);
+  EXPECT_EQ(resolved.crash_times, plan.crash_times);
+  EXPECT_TRUE(resolved.domain_crashes.empty());
+}
+
+// The merged plan is re-validated: a trace domain event needs the plan to
+// carry a domain map, and the referenced domain must exist in it.
+TEST(ResolveFailureTrace, DomainEventWithoutDomainMapIsRejected) {
+  const std::string path =
+      write_temp("failures_no_map.csv", "300,domain,0\n");
+  schedsim::FaultPlan plan;
+  plan.failure_trace_path = path;
+  EXPECT_THROW(resolve_failure_trace(plan), PreconditionError);
+
+  plan.domain_sizes = {16};  // domain 1 out of range
+  const std::string path2 =
+      write_temp("failures_bad_domain_ref.csv", "300,domain,1\n");
+  plan.failure_trace_path = path2;
+  EXPECT_THROW(resolve_failure_trace(plan), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ehpc::trace
