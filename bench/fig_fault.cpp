@@ -229,8 +229,10 @@ void run(bench::Reporter& rep, const Config& cfg) {
        "storm_delay_s", "goodput"});
   for (const double bw : {0.0, 8.0, 4.0, 2.0, 1.0}) {
     storm.faults.restore_bandwidth = bw;
-    const auto& m = scenario::compare_policies(storm, threads)
-                        .at(PolicyMode::kElastic);
+    // By value: compare_policies returns the map by value, so binding a
+    // reference through .at() would dangle into the destroyed temporary.
+    const elastic::RunMetrics m =
+        scenario::compare_policies(storm, threads).at(PolicyMode::kElastic);
     storm_table.add_row({format_double(bw, 0),
                          format_double(m.weighted_completion_s, 2),
                          format_double(m.recovery_time_s, 2),

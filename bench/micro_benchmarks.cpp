@@ -6,9 +6,11 @@
 
 #include <numeric>
 
+#include "apps/graph.hpp"
 #include "charm/load_balancer.hpp"
 #include "charm/pup.hpp"
 #include "charm/runtime.hpp"
+#include "net/network_model.hpp"
 #include "common/piecewise_linear.hpp"
 #include "common/rng.hpp"
 #include "elastic/policy.hpp"
@@ -182,6 +184,53 @@ void BM_LoadBalancer(benchmark::State& state, const char* name) {
 }
 BENCHMARK_CAPTURE(BM_LoadBalancer, greedy, "greedy")->Arg(256)->Arg(4096);
 BENCHMARK_CAPTURE(BM_LoadBalancer, refine, "refine")->Arg(256)->Arg(4096);
+
+// Full graph superstep loop on minicharm: Chung-Lu generation, the scatter /
+// inbox messaging, per-superstep reductions and periodic comm-aware LB over
+// the fat-tree model. Items = vertex updates (vertices * iterations); the
+// perf gate floors items_per_second.
+void BM_GraphSuperstep(benchmark::State& state) {
+  apps::GraphConfig config;
+  config.vertices = static_cast<int>(state.range(0));
+  config.parts = 32;
+  config.skew = 0.9;
+  config.max_iterations = 8;
+  for (auto _ : state) {
+    charm::RuntimeConfig rc;
+    rc.num_pes = 16;
+    rc.pes_per_node = 4;
+    rc.load_balancer = "commrefine";
+    rc.network = net::make_network_model("fattree", /*oversub=*/4.0);
+    charm::Runtime rt(rc);
+    apps::Graph app(rt, config);
+    app.driver().set_lb_period(4);
+    app.start();
+    rt.run();
+    benchmark::DoNotOptimize(app.active_last_iteration());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          config.max_iterations);
+}
+BENCHMARK(BM_GraphSuperstep)->Arg(1024)->Arg(4096);
+
+// The per-message pricing hot path of the contention model: route lookup,
+// per-link window sharing and the additive penalty, cycling through
+// same-node / same-rack / cross-rack routes. Items = priced transfers.
+void BM_TopologyMessageTime(benchmark::State& state) {
+  net::ContentionConfig config{net::presets::pod_network(),
+                               net::Topology::fat_tree(8, /*oversub=*/4.0)};
+  net::ContentionNetworkModel model(config);
+  const std::pair<int, int> routes[] = {{0, 1}, {2, 19}, {5, 5}, {7, 42}};
+  double now = 0.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [src, dst] = routes[i++ % 4];
+    benchmark::DoNotOptimize(model.begin_transfer(4096, src, dst, now));
+    now += 1.0e-4;  // ~10 transfers share each 1 ms window
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TopologyMessageTime);
 
 struct BigChare final : charm::Chare {
   std::vector<double> data;

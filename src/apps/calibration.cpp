@@ -156,6 +156,59 @@ LbProfile measure_amr_lb_profile(AmrConfig config, int replicas, int lb_period,
   return profile;
 }
 
+std::vector<ScalingPoint> measure_graph_scaling(
+    GraphConfig config, const std::vector<int>& replica_counts, int lb_period,
+    charm::RuntimeConfig base) {
+  std::vector<ScalingPoint> out;
+  out.reserve(replica_counts.size());
+  for (int replicas : replica_counts) {
+    charm::RuntimeConfig rc = base;
+    rc.num_pes = replicas;
+    charm::Runtime rt(rc);
+    Graph app(rt, config);
+    app.driver().set_lb_period(lb_period);
+    app.start();
+    rt.run();
+    EHPC_ENSURES(app.driver().finished());
+    // Mean over all supersteps: LB migrations change the per-step time
+    // mid-run, so there is no steady state to isolate.
+    const auto& ends = app.driver().iteration_end_times();
+    EHPC_EXPECTS(!ends.empty());
+    out.push_back({replicas, ends.back() / static_cast<double>(ends.size())});
+  }
+  return out;
+}
+
+LbProfile measure_graph_lb_profile(GraphConfig config, int replicas,
+                                   int lb_period, charm::RuntimeConfig base) {
+  EHPC_EXPECTS(replicas > 0 && lb_period > 0);
+  charm::RuntimeConfig rc = base;
+  rc.num_pes = replicas;
+  charm::Runtime rt(rc);
+  Graph app(rt, config);
+  app.driver().set_lb_period(lb_period);
+  app.start();
+  rt.run();
+  EHPC_ENSURES(app.driver().finished());
+  LbProfile profile;
+  double pre_sum = 0.0;
+  double post_sum = 0.0;
+  double migrated_sum = 0.0;
+  for (const auto& step : rt.lb_history()) {
+    pre_sum += step.pre_ratio;
+    post_sum += step.post_ratio;
+    migrated_sum += static_cast<double>(step.migrated);
+    ++profile.lb_steps;
+  }
+  if (profile.lb_steps > 0) {
+    const double n = static_cast<double>(profile.lb_steps);
+    profile.pre_ratio = pre_sum / n;
+    profile.post_ratio = post_sum / n;
+    profile.migrations_per_step = migrated_sum / n;
+  }
+  return profile;
+}
+
 PiecewiseLinear scaling_curve(const std::vector<ScalingPoint>& points) {
   EHPC_EXPECTS(!points.empty());
   std::vector<std::pair<double, double>> xy;

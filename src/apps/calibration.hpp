@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "apps/amr.hpp"
+#include "apps/graph.hpp"
 #include "apps/jacobi2d.hpp"
 #include "apps/leanmd.hpp"
 #include "charm/rescale.hpp"
@@ -73,6 +74,18 @@ struct LbProfile {
 LbProfile measure_amr_lb_profile(AmrConfig config, int replicas,
                                  int lb_period = 5,
                                  charm::RuntimeConfig base = {});
+
+/// Same measurements for the power-law graph workload. The mean step time
+/// is taken over the whole run (supersteps slow down as hub parts contend
+/// for uplinks, then speed up after LB migrations) — pass a contention
+/// NetworkModel in `base` to make placement quality visible in the number.
+std::vector<ScalingPoint> measure_graph_scaling(
+    GraphConfig config, const std::vector<int>& replica_counts,
+    int lb_period = 0, charm::RuntimeConfig base = {});
+
+LbProfile measure_graph_lb_profile(GraphConfig config, int replicas,
+                                   int lb_period = 4,
+                                   charm::RuntimeConfig base = {});
 
 /// Piecewise-linear time-per-step(replicas) curve from scaling points.
 PiecewiseLinear scaling_curve(const std::vector<ScalingPoint>& points);

@@ -149,20 +149,118 @@ LbAssignment RefineLb::assign(const std::vector<LbObject>& objects,
   return out;
 }
 
+LbAssignment CommRefineLb::assign(const std::vector<LbObject>& objects,
+                                  const std::vector<PeId>& available_pes) const {
+  // No measured communication: behave like RefineLB (migration-averse
+  // compute balancing), so the strategy is safe on comm-free apps.
+  return RefineLb(tolerance_).assign(objects, available_pes);
+}
+
+LbAssignment CommRefineLb::assign(const std::vector<LbObject>& objects,
+                                  const LbCommGraph& comm,
+                                  const std::vector<PeId>& available_pes) const {
+  EHPC_EXPECTS(!available_pes.empty());
+  if (comm.empty()) return assign(objects, available_pes);
+
+  // Seed with the best compute balance, then spend the tolerance headroom
+  // on traffic locality.
+  LbAssignment out = GreedyLb().assign(objects, available_pes);
+
+  std::map<PeId, double> pe_load;
+  for (PeId pe : available_pes) pe_load[pe] = 0.0;
+  double total_load = 0.0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    pe_load[out[i]] += objects[i].load;
+    total_load += objects[i].load;
+  }
+  const double cap =
+      tolerance_ * total_load / static_cast<double>(available_pes.size());
+
+  // Adjacency lists plus per-object total adjacent traffic.
+  std::vector<std::vector<std::pair<int, double>>> adj(objects.size());
+  std::vector<double> adjacent_bytes(objects.size(), 0.0);
+  for (const auto& e : comm.edges) {
+    EHPC_EXPECTS(e.a >= 0 && static_cast<std::size_t>(e.a) < objects.size());
+    EHPC_EXPECTS(e.b >= 0 && static_cast<std::size_t>(e.b) < objects.size());
+    if (e.a == e.b || e.bytes <= 0.0) continue;
+    adj[static_cast<std::size_t>(e.a)].push_back({e.b, e.bytes});
+    adj[static_cast<std::size_t>(e.b)].push_back({e.a, e.bytes});
+    adjacent_bytes[static_cast<std::size_t>(e.a)] += e.bytes;
+    adjacent_bytes[static_cast<std::size_t>(e.b)] += e.bytes;
+  }
+
+  // Refine hottest talkers first: hub parts have the most traffic at stake.
+  std::vector<std::size_t> order(objects.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return adjacent_bytes[a] > adjacent_bytes[b];
+  });
+
+  const auto comm_cost = [&](std::size_t i, PeId pe) {
+    double cost = 0.0;
+    for (const auto& [j, bytes] : adj[i]) {
+      cost += bytes * comm.byte_cost(pe, out[static_cast<std::size_t>(j)]);
+    }
+    return cost;
+  };
+
+  // Each accepted move strictly lowers the total cut cost, so the loop
+  // terminates; the pass bound just caps worst-case work.
+  constexpr int kMaxPasses = 8;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    bool moved = false;
+    for (std::size_t i : order) {
+      if (adj[i].empty()) continue;
+      const PeId from = out[i];
+      double best_cost = comm_cost(i, from);
+      PeId best_pe = from;
+      for (PeId pe : available_pes) {
+        if (pe == from) continue;
+        if (pe_load[pe] + objects[i].load > cap) continue;
+        const double cost = comm_cost(i, pe);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_pe = pe;
+        }
+      }
+      if (best_pe != from) {
+        pe_load[from] -= objects[i].load;
+        pe_load[best_pe] += objects[i].load;
+        out[i] = best_pe;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return out;
+}
+
 std::unique_ptr<LoadBalancer> make_load_balancer(const std::string& name) {
   if (name == "null") return std::make_unique<NullLb>();
   if (name == "greedy") return std::make_unique<GreedyLb>();
   if (name == "refine") return std::make_unique<RefineLb>();
+  if (name == "commrefine") return std::make_unique<CommRefineLb>();
   throw PreconditionError("unknown load balancer: " + name);
 }
 
 const std::vector<std::string>& load_balancer_names() {
-  static const std::vector<std::string> kNames{"null", "greedy", "refine"};
+  // Appended-only: ablations index into this list, so existing indices are
+  // stable across additions.
+  static const std::vector<std::string> kNames{"null", "greedy", "refine",
+                                               "commrefine"};
   return kNames;
 }
 
 LbAssignment run_strategy(const LoadBalancer& strategy,
                           const std::vector<LbObject>& objects,
+                          const std::vector<PeId>& available_pes,
+                          LbStepStats* stats) {
+  return run_strategy(strategy, objects, LbCommGraph{}, available_pes, stats);
+}
+
+LbAssignment run_strategy(const LoadBalancer& strategy,
+                          const std::vector<LbObject>& objects,
+                          const LbCommGraph& comm,
                           const std::vector<PeId>& available_pes,
                           LbStepStats* stats) {
   EHPC_EXPECTS(!available_pes.empty());
@@ -180,7 +278,10 @@ LbAssignment run_strategy(const LoadBalancer& strategy,
   std::sort(hosting.begin(), hosting.end());
   hosting.erase(std::unique(hosting.begin(), hosting.end()), hosting.end());
 
-  LbAssignment proposal = strategy.assign(objects, available_pes);
+  const bool comm_driven = strategy.comm_aware() && !comm.empty();
+  LbAssignment proposal = comm_driven
+                              ? strategy.assign(objects, comm, available_pes)
+                              : strategy.assign(objects, available_pes);
   EHPC_ENSURES(proposal.size() == objects.size());
 
   // Pre-LB ratio over the available set whenever the current placement is
@@ -192,8 +293,11 @@ LbAssignment run_strategy(const LoadBalancer& strategy,
           ? (objects.empty() ? 1.0
                              : load_imbalance(objects, current, available_pes))
           : (hosting.empty() ? 1.0 : load_imbalance(objects, current, hosting));
-  // Never-worse guard: compare both placements over the same PE set.
-  if (current_legal && !objects.empty() &&
+  // Never-worse guard: compare both placements over the same PE set. A
+  // comm-driven proposal is exempt — it intentionally trades (bounded,
+  // self-tolerated) compute imbalance for cut-traffic reduction, which the
+  // compute-only ratio cannot value.
+  if (!comm_driven && current_legal && !objects.empty() &&
       load_imbalance(objects, proposal, available_pes) > pre_ratio) {
     proposal = current;
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,25 @@ struct LbObject {
 /// input order, restricted to the available PEs.
 using LbAssignment = std::vector<PeId>;
 
+/// Measured object-communication graph handed to comm-aware strategies.
+/// Edge endpoints index into the `objects` vector passed alongside it;
+/// `bytes` is the traffic measured between the two objects since the last
+/// LB step (both directions summed). `byte_cost(a, b)` prices one byte
+/// between two PEs in virtual-time seconds — supplied by the runtime from
+/// its NetworkModel so placement cost reflects the actual topology
+/// (same-PE traffic is free, cross-rack traffic dearest).
+struct LbCommGraph {
+  struct Edge {
+    int a = 0;
+    int b = 0;
+    double bytes = 0.0;
+  };
+  std::vector<Edge> edges;
+  std::function<double(PeId, PeId)> byte_cost;
+
+  bool empty() const { return edges.empty() || !byte_cost; }
+};
+
 /// Strategy interface. Strategies are centralized (they see all objects),
 /// matching Charm++'s central LB family used by shrink/expand.
 class LoadBalancer {
@@ -32,6 +52,19 @@ class LoadBalancer {
   /// `available_pes` is non-empty and sorted ascending.
   virtual LbAssignment assign(const std::vector<LbObject>& objects,
                               const std::vector<PeId>& available_pes) const = 0;
+
+  /// True when the strategy consumes the communication graph; the runtime
+  /// only pays for per-message comm tracking when its strategy wants it.
+  virtual bool comm_aware() const { return false; }
+
+  /// Comm-graph-aware overload. The default ignores the graph and defers
+  /// to the compute-only assignment, so existing strategies need no change.
+  virtual LbAssignment assign(const std::vector<LbObject>& objects,
+                              const LbCommGraph& comm,
+                              const std::vector<PeId>& available_pes) const {
+    (void)comm;
+    return assign(objects, available_pes);
+  }
 };
 
 /// Keeps every object where it is, unless its PE is unavailable, in which
@@ -69,7 +102,29 @@ class RefineLb final : public LoadBalancer {
   double tolerance_;
 };
 
-/// Factory: "null", "greedy", or "refine".
+/// Comm-aware greedy refinement: seeds with GreedyLB's compute-balanced
+/// assignment, then iteratively moves the objects with the heaviest
+/// adjacent traffic to the PE minimizing their communication cost over the
+/// topology, as long as the destination stays within `tolerance` of the
+/// average compute load. Trades a bounded amount of compute imbalance for
+/// cut-traffic reduction; with no measured comm graph it degrades to
+/// RefineLB (so it is safe as a drop-in strategy on comm-free apps).
+class CommRefineLb final : public LoadBalancer {
+ public:
+  explicit CommRefineLb(double tolerance = 1.15) : tolerance_(tolerance) {}
+  std::string name() const override { return "CommRefineLB"; }
+  bool comm_aware() const override { return true; }
+  LbAssignment assign(const std::vector<LbObject>& objects,
+                      const std::vector<PeId>& available_pes) const override;
+  LbAssignment assign(const std::vector<LbObject>& objects,
+                      const LbCommGraph& comm,
+                      const std::vector<PeId>& available_pes) const override;
+
+ private:
+  double tolerance_;
+};
+
+/// Factory: "null", "greedy", "refine", or "commrefine".
 std::unique_ptr<LoadBalancer> make_load_balancer(const std::string& name);
 
 /// The strategy names `make_load_balancer` accepts, in a stable order
@@ -96,6 +151,17 @@ struct LbStepStats {
 /// PEs currently hosting objects (the shrink/evacuation case).
 LbAssignment run_strategy(const LoadBalancer& strategy,
                           const std::vector<LbObject>& objects,
+                          const std::vector<PeId>& available_pes,
+                          LbStepStats* stats = nullptr);
+
+/// Comm-graph-aware overload. When the strategy is comm-aware and the
+/// graph is non-empty, the max/avg never-worse guard is *waived*: such a
+/// strategy deliberately accepts bounded compute imbalance (its own
+/// tolerance) to cut network traffic, which the compute-only ratio cannot
+/// see. Compute-only strategies keep the full guard.
+LbAssignment run_strategy(const LoadBalancer& strategy,
+                          const std::vector<LbObject>& objects,
+                          const LbCommGraph& comm,
                           const std::vector<PeId>& available_pes,
                           LbStepStats* stats = nullptr);
 

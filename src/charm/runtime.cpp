@@ -38,6 +38,13 @@ Runtime::Runtime(RuntimeConfig config)
   EHPC_EXPECTS(config_.pes_per_node > 0);
   EHPC_EXPECTS(config_.flop_rate > 0.0);
   EHPC_EXPECTS(config_.shm_bandwidth_Bps > 0.0);
+  EHPC_EXPECTS(config_.network != nullptr);
+  // Private clone: the model may carry per-run contention state, which must
+  // not be shared between runtimes sweeping in parallel.
+  net_ = config_.network->clone();
+  // Comm tracking costs a map update per cross-object send; only pay for it
+  // when the configured strategy can actually use the graph.
+  track_comm_ = lb_->comm_aware();
   pes_.resize(static_cast<std::size_t>(num_pes_));
   rebuild_node_table();
 }
@@ -115,10 +122,29 @@ void Runtime::release_env(EnvIndex idx) {
   env_free_.push_back(idx);
 }
 
+namespace {
+// Packed (src array, src elem, dst array, dst elem) key for the per-pair
+// traffic map: 8 bits per array id, 24 bits per element id.
+std::uint64_t comm_key(ArrayId src_array, ElementId src_elem, ArrayId dst_array,
+                       ElementId dst_elem) {
+  return (static_cast<std::uint64_t>(src_array & 0xff) << 56) |
+         (static_cast<std::uint64_t>(src_elem & 0xffffff) << 32) |
+         (static_cast<std::uint64_t>(dst_array & 0xff) << 24) |
+         static_cast<std::uint64_t>(dst_elem & 0xffffff);
+}
+}  // namespace
+
 void Runtime::enqueue_send(ArrayId array, ElementId elem, std::size_t bytes,
                            EntryId entry, Handler&& fn) {
   const EnvIndex idx = alloc_env(array, elem, bytes, entry, std::move(fn));
   if (in_handler_) {
+    // Measured object-communication graph for comm-aware LB: attribute the
+    // bytes to the (sender object, receiver object) pair. Driver-context
+    // sends have no sender object and are not placement-relevant.
+    if (track_comm_ && (ctx_array_ != array || ctx_elem_ != elem)) {
+      comm_bytes_[comm_key(ctx_array_, ctx_elem_, array, elem)] +=
+          static_cast<double>(bytes);
+    }
     // Effects of an entry method take hold at its completion time; buffer
     // until the handler's duration is known.
     ctx_sends_.push_back(idx);
@@ -197,16 +223,19 @@ void Runtime::dispatch(EnvIndex env_idx, PeId from_pe, sim::Time send_time) {
         depart + config_.nic_per_msg_s +
         static_cast<double>(env.bytes) / config_.nic_bandwidth_Bps;
   }
-  const double cost = config_.network.message_time(env.bytes, src_node, dst_node);
+  const double cost =
+      net_->begin_transfer(env.bytes, src_node, dst_node, depart);
   // Epoch guard: a message in flight when the PE set is torn down (a
   // non-quiescent fail_and_recover) died with the sender's TCP connection;
   // drop it instead of delivering stale pre-failure state to the restored
   // element. Rescales run at quiescence, so this only fires on failures.
-  sim_.schedule_at(depart + cost, [this, dst, env_idx, epoch = pe_epoch_] {
+  sim_.schedule_at(depart + cost, [this, dst, env_idx, epoch = pe_epoch_,
+                                   bytes = env.bytes, src_node, dst_node] {
     if (epoch != pe_epoch_) {
       release_env(env_idx);
       return;
     }
+    net_->end_transfer(bytes, src_node, dst_node, sim_.now());
     on_arrival(dst, env_idx);
   });
 }
@@ -294,9 +323,8 @@ void Runtime::start_service(PeId pe) {
   });
 }
 
-double Runtime::tree_latency(int pes) const {
-  const int depth = static_cast<int>(std::ceil(std::log2(std::max(pes, 2))));
-  return static_cast<double>(depth) * config_.network.inter_alpha();
+double Runtime::tree_latency(int pes, sim::Time at) const {
+  return net_->collective_latency(pes, at);
 }
 
 void Runtime::flush_contribute(const PendingContribute& c, sim::Time at) {
@@ -317,7 +345,8 @@ void Runtime::flush_contribute(const PendingContribute& c, sim::Time at) {
   EHPC_ENSURES(red.contributed <= n);
   if (red.contributed == n) {
     const double result = red.acc;
-    const sim::Time done = red.latest_time + tree_latency(num_pes_);
+    const sim::Time done =
+        red.latest_time + tree_latency(num_pes_, red.latest_time);
     red = ReductionState{};  // ready for the next round
     const ArrayId array = c.array;
     // The epoch guard retires the client callback if a failure tears the
@@ -359,11 +388,15 @@ void Runtime::assert_quiescent() const {
 
 double Runtime::stage_load_balance(const std::vector<PeId>& available_pes,
                                    int* migrated_out) {
-  // Gather objects across all arrays.
+  // Gather objects across all arrays (array-major order; `first_index`
+  // recovers an object's position from its (array, elem) coordinates when
+  // decoding the comm graph below).
   std::vector<LbObject> objects;
   std::vector<double> modeled_bytes;
+  std::vector<std::size_t> first_index(arrays_.size() + 1, 0);
   for (ArrayId a = 0; a < static_cast<ArrayId>(arrays_.size()); ++a) {
     auto& arr = arrays_[static_cast<std::size_t>(a)];
+    first_index[static_cast<std::size_t>(a)] = objects.size();
     for (ElementId e = 0; e < static_cast<ElementId>(arr.elements.size()); ++e) {
       LbObject obj;
       obj.array = a;
@@ -375,19 +408,47 @@ double Runtime::stage_load_balance(const std::vector<PeId>& available_pes,
       modeled_bytes.push_back(static_cast<double>(obj.bytes) * arr.bytes_scale);
     }
   }
+  first_index[arrays_.size()] = objects.size();
   if (objects.empty()) {
     if (migrated_out) *migrated_out = 0;
     return 0.0;
   }
 
+  // Hand the measured per-pair traffic to the strategy, priced over this
+  // runtime's topology: same-PE traffic is free, cross-rack traffic pays
+  // the contention model's structural penalties.
+  LbCommGraph comm;
+  if (track_comm_ && !comm_bytes_.empty()) {
+    comm.edges.reserve(comm_bytes_.size());
+    for (const auto& [key, traffic] : comm_bytes_) {
+      const auto src_array = static_cast<std::size_t>((key >> 56) & 0xff);
+      const auto src_elem = static_cast<std::size_t>((key >> 32) & 0xffffff);
+      const auto dst_array = static_cast<std::size_t>((key >> 24) & 0xff);
+      const auto dst_elem = static_cast<std::size_t>(key & 0xffffff);
+      LbCommGraph::Edge edge;
+      edge.a = static_cast<int>(first_index[src_array] + src_elem);
+      edge.b = static_cast<int>(first_index[dst_array] + dst_elem);
+      edge.bytes = traffic;
+      comm.edges.push_back(edge);
+    }
+    // Reference-size transfer amortizes the per-message alpha: the graph
+    // weights are bulk bytes, so price them at bulk per-byte cost.
+    constexpr std::size_t kRefBytes = 65536;
+    comm.byte_cost = [this](PeId a, PeId b) {
+      if (a == b) return 0.0;
+      return net_->message_time(kRefBytes, node_of(a), node_of(b)) /
+             static_cast<double>(kRefBytes);
+    };
+  }
+
   LbStepStats stats;
   const LbAssignment assignment =
-      run_strategy(*lb_, objects, available_pes, &stats);
+      run_strategy(*lb_, objects, comm, available_pes, &stats);
   lb_history_.push_back(stats);
 
   // Strategy + stats-gathering cost (central LB): per-object decision work
   // plus a reduction/broadcast over the current PEs.
-  double stage = 2.0 * tree_latency(num_pes_) +
+  double stage = 2.0 * tree_latency(num_pes_, sim_.now()) +
                  static_cast<double>(objects.size()) * config_.lb_decision_per_obj_s;
 
   // Migration: objects move in parallel; each PE serializes its outgoing and
@@ -397,11 +458,10 @@ double Runtime::stage_load_balance(const std::vector<PeId>& available_pes,
                                   std::max(num_pes_, available_pes.back() + 1)),
                               0.0);
   int migrated = 0;
-  const auto& net = config_.network;
   for (std::size_t i = 0; i < objects.size(); ++i) {
     if (assignment[i] == objects[i].current_pe) continue;
     ++migrated;
-    const double cost = net.message_time(
+    const double cost = net_->message_time(
         static_cast<std::size_t>(modeled_bytes[i]),
         node_of(objects[i].current_pe), node_of(assignment[i]));
     pe_cost[static_cast<std::size_t>(objects[i].current_pe)] += cost;
@@ -410,10 +470,12 @@ double Runtime::stage_load_balance(const std::vector<PeId>& available_pes,
   }
   stage += *std::max_element(pe_cost.begin(), pe_cost.end());
 
-  // LB period ends: loads reset, as in Charm++ central strategies.
+  // LB period ends: loads and measured traffic reset, as in Charm++
+  // central strategies.
   for (auto& arr : arrays_) {
     std::fill(arr.load_s.begin(), arr.load_s.end(), 0.0);
   }
+  comm_bytes_.clear();
   if (migrated_out) *migrated_out = migrated;
   return stage;
 }
@@ -647,6 +709,7 @@ void Runtime::recover_from_disk(int surviving_pes,
     arr.reduction = ReductionState{};
     std::fill(arr.load_s.begin(), arr.load_s.end(), 0.0);
   }
+  comm_bytes_.clear();  // measured traffic died with the processes
   reset_pes(surviving_pes);
   num_pes_ = surviving_pes;
   rebuild_node_table();

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -15,7 +16,7 @@
 #include "charm/pup.hpp"
 #include "charm/rescale.hpp"
 #include "charm/types.hpp"
-#include "net/cost_model.hpp"
+#include "net/network_model.hpp"
 #include "sim/simulation.hpp"
 
 namespace ehpc::charm {
@@ -28,13 +29,18 @@ struct RuntimeConfig {
   int pes_per_node = 16;         ///< replicas packed per node (c6g.4xlarge: 16)
   double flop_rate = 2.0e9;      ///< sustained flops per PE (c6g Graviton2 core)
   double handler_overhead_s = 25.0e-6;  ///< per-message software cost (scheduler + TCP stack)
-  net::CostModel network = net::presets::pod_network();
+  /// Communication model behind the NetworkModel seam. The default is the
+  /// flat pod-network alpha-beta model; swap in
+  /// `net::make_network_model("fattree", oversub)` for per-link contention.
+  /// The runtime clones it at construction, so one config can seed many
+  /// concurrently-running runtimes.
+  std::shared_ptr<const net::NetworkModel> network = net::default_network_model();
   double shm_bandwidth_Bps = 4.0e9;     ///< /dev/shm checkpoint+restore bandwidth
   double checkpoint_per_obj_s = 50.0e-6;  ///< per-object serialization overhead
   double startup_alpha_s = 0.4;  ///< restart fixed cost (mpirun launch)
   double startup_per_pe_s = 0.03;  ///< restart cost per rank (MPI_Init growth)
   double lb_decision_per_obj_s = 10.0e-6;  ///< central LB strategy cost/object
-  std::string load_balancer = "greedy";    ///< "null" | "greedy" | "refine"
+  std::string load_balancer = "greedy";  ///< "null" | "greedy" | "refine" | "commrefine"
   /// Per-node NIC egress serialization: inter-node messages leaving one node
   /// queue behind each other (TCP/ENA). This is the per-iteration floor that
   /// flattens strong scaling at high replica counts (paper Fig. 4a).
@@ -95,6 +101,10 @@ class Runtime {
   }
   sim::Time now() const { return sim_.now(); }
   const RuntimeConfig& config() const { return config_; }
+
+  /// This runtime's private clone of the configured network model (carries
+  /// the run's contention state; tests inspect link stats through it).
+  const net::NetworkModel& network_model() const { return *net_; }
 
   // ---- chare arrays ----
 
@@ -326,7 +336,9 @@ class Runtime {
   void on_arrival(PeId pe, EnvIndex env);
   void start_service(PeId pe);
   void flush_contribute(const PendingContribute& c, sim::Time at);
-  double tree_latency(int pes) const;
+  /// Modeled latency of a log2(pes)-depth reduction/broadcast tree observed
+  /// at virtual time `at` (a contended fabric stretches it).
+  double tree_latency(int pes, sim::Time at) const;
 
   // Rescale stages. Each returns the stage's virtual duration.
   double stage_load_balance(const std::vector<PeId>& available_pes,
@@ -342,7 +354,13 @@ class Runtime {
   LocationManager loc_;
   std::vector<double> node_egress_busy_;  // per-node NIC availability time
   CcsServer ccs_;
+  std::unique_ptr<net::NetworkModel> net_;  // private clone of config_.network
   std::unique_ptr<LoadBalancer> lb_;
+  // Per-object-pair traffic since the last LB step, keyed by packed
+  // (src array, src elem, dst array, dst elem). Only maintained when the
+  // configured strategy is comm-aware; cleared with the LB loads.
+  bool track_comm_ = false;
+  std::map<std::uint64_t, double> comm_bytes_;
   std::vector<ArrayState> arrays_;
   std::vector<PeState> pes_;
   int num_pes_;

@@ -1,0 +1,73 @@
+#include "net/topology.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace ehpc::net {
+
+Topology::Topology(Shape shape, int radix, double oversub,
+                   double per_hop_alpha_s)
+    : shape_(shape),
+      radix_(radix),
+      oversub_(oversub),
+      per_hop_alpha_s_(per_hop_alpha_s) {
+  EHPC_EXPECTS(radix_ >= 1);
+  EHPC_EXPECTS(oversub_ > 0.0);
+  EHPC_EXPECTS(per_hop_alpha_s_ >= 0.0);
+}
+
+Topology Topology::fat_tree(int radix, double oversub, double per_hop_alpha_s) {
+  return Topology(Shape::kFatTree, radix, oversub, per_hop_alpha_s);
+}
+
+Topology Topology::dragonfly(int radix, double oversub,
+                             double per_hop_alpha_s) {
+  return Topology(Shape::kDragonfly, radix, oversub, per_hop_alpha_s);
+}
+
+void Topology::path(int src_node, int dst_node,
+                    std::vector<LinkId>* out) const {
+  EHPC_EXPECTS(out != nullptr);
+  EHPC_EXPECTS(src_node >= 0 && dst_node >= 0);
+  out->clear();
+  if (src_node == dst_node) return;
+  const int src_group = group_of(src_node);
+  const int dst_group = group_of(dst_node);
+  out->push_back(make_link(kNodeUp, src_node));
+  if (src_group != dst_group) {
+    out->push_back(make_link(kCoreUp, src_group));
+    out->push_back(make_link(kCoreDown, dst_group));
+  } else if (shape_ == Shape::kDragonfly) {
+    // Dragonfly routes same-group traffic over the group's local
+    // all-to-all channel; a fat-tree rack turns around at the ToR switch.
+    out->push_back(make_link(kGroupLocal, src_group));
+  }
+  out->push_back(make_link(kNodeDown, dst_node));
+}
+
+double Topology::bandwidth_share(LinkId link) const {
+  switch (kind_of(link)) {
+    case kNodeUp:
+    case kNodeDown:
+      return 1.0;
+    case kCoreUp:
+    case kCoreDown:
+      // The aggregated core/global capacity of a radix-node group, divided
+      // by the oversubscription ratio.
+      return static_cast<double>(radix_) / oversub_;
+    case kGroupLocal:
+      return static_cast<double>(radix_);
+  }
+  return 1.0;
+}
+
+std::string Topology::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s(radix=%d,oversub=%g)",
+                shape_ == Shape::kFatTree ? "fattree" : "dragonfly", radix_,
+                oversub_);
+  return buf;
+}
+
+}  // namespace ehpc::net

@@ -72,6 +72,13 @@ std::map<elastic::JobClass, elastic::Workload> workloads_for(
     return schedsim::amr_calibrated_workloads(spec.refine_rate,
                                               spec.lb_strategy);
   }
+  if (spec.app == "graph") {
+    // Also always measured: hub-concentrated traffic over the configured
+    // network model is what the calibration exists to capture.
+    return schedsim::graph_calibrated_workloads(
+        spec.graph_vertices, spec.graph_skew, spec.lb_strategy, spec.net_model,
+        spec.net_oversub);
+  }
   return spec.calibrated ? schedsim::calibrated_workloads()
                          : schedsim::analytic_workloads();
 }

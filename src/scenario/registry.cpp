@@ -146,6 +146,38 @@ ScenarioRegistry::ScenarioRegistry() {
   amr_lb.repeats = 20;
   add(amr_lb);
 
+  // Communication-skewed graph scenarios: jobs modeled from the power-law
+  // graph app, whose hub parts concentrate message volume. graph_superstep
+  // sweeps the skew exponent under the flat network; graph_lb_ablation puts
+  // the workload on an oversubscribed fat-tree, where the comm-aware
+  // balancer's rack-locality actually pays.
+  ScenarioSpec graph_superstep;
+  graph_superstep.name = "graph_superstep";
+  graph_superstep.description =
+      "Scheduler metrics vs power-law skew: graph workload models are "
+      "re-calibrated per point, so hub concentration grows along the axis";
+  graph_superstep.app = "graph";
+  graph_superstep.axis = SweepAxis::kGraphSkew;
+  graph_superstep.axis_values = {0.0, 0.5, 0.9};
+  graph_superstep.repeats = 20;
+  add(graph_superstep);
+
+  ScenarioSpec graph_lb;
+  graph_lb.name = "graph_lb_ablation";
+  graph_lb.description =
+      "Load-balancer ablation on the graph workload over a 4x-oversubscribed "
+      "fat-tree: greedy vs commrefine (sweep values index "
+      "charm::load_balancer_names())";
+  graph_lb.app = "graph";
+  graph_lb.graph_skew = 0.9;
+  graph_lb.net_model = "fattree";
+  graph_lb.net_oversub = 4.0;
+  graph_lb.axis = SweepAxis::kLbStrategy;
+  graph_lb.axis_values = {1, 3};
+  graph_lb.policies = {PolicyMode::kElastic};
+  graph_lb.repeats = 20;
+  add(graph_lb);
+
   // Fault-injection scenarios (ROADMAP "Fault tolerance"): deterministic
   // crash/eviction plans executed by the shared harness, so both substrates
   // replay the identical failure sequence.

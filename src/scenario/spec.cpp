@@ -38,6 +38,8 @@ std::string to_string(SweepAxis a) {
     case SweepAxis::kLbStrategy: return "lb_strategy";
     case SweepAxis::kFaultMtbf: return "fault_mtbf";
     case SweepAxis::kCheckpointPeriod: return "checkpoint_period";
+    case SweepAxis::kGraphSkew: return "graph_skew";
+    case SweepAxis::kNetOversub: return "net_oversub";
   }
   return "?";
 }
@@ -50,14 +52,17 @@ SweepAxis sweep_axis_from_string(const std::string& name) {
   if (name == "lb_strategy") return SweepAxis::kLbStrategy;
   if (name == "fault_mtbf") return SweepAxis::kFaultMtbf;
   if (name == "checkpoint_period") return SweepAxis::kCheckpointPeriod;
+  if (name == "graph_skew") return SweepAxis::kGraphSkew;
+  if (name == "net_oversub") return SweepAxis::kNetOversub;
   throw ConfigError(
       "unknown sweep axis '" + name +
       "'; known: none submission_gap rescale_gap refine_rate lb_strategy "
-      "fault_mtbf checkpoint_period");
+      "fault_mtbf checkpoint_period graph_skew net_oversub");
 }
 
 bool axis_affects_workloads(SweepAxis a) {
-  return a == SweepAxis::kRefineRate || a == SweepAxis::kLbStrategy;
+  return a == SweepAxis::kRefineRate || a == SweepAxis::kLbStrategy ||
+         a == SweepAxis::kGraphSkew || a == SweepAxis::kNetOversub;
 }
 
 namespace {
@@ -213,16 +218,41 @@ void ScenarioSpec::validate() const {
   if (axis == SweepAxis::kNone && !axis_values.empty()) {
     fail("sweep_values given but sweep_axis is 'none'");
   }
-  if (app != "jacobi" && app != "amr") {
-    fail("unknown app '" + app + "'; known: jacobi amr");
+  if (app != "jacobi" && app != "amr" && app != "graph") {
+    fail("unknown app '" + app + "'; known: jacobi amr graph");
   }
   if (refine_rate < 0.0 || refine_rate > 0.5) {
     fail("refine_rate must be in [0, 0.5]");
   }
+  if (net_model != "flat" && net_model != "fattree" &&
+      net_model != "dragonfly") {
+    fail("unknown net_model '" + net_model +
+         "'; known: flat fattree dragonfly");
+  }
+  if (net_model != "flat" && app != "graph") {
+    fail("net_model '" + net_model + "' requires app=graph (only the graph "
+         "calibration routes through the topology seam)");
+  }
+  if (net_oversub != 1.0 && net_model == "flat") {
+    fail("net_oversub needs a topology: set net_model=fattree or dragonfly");
+  }
+  if (net_oversub < 1.0 || net_oversub > 64.0) {
+    fail("net_oversub must be in [1, 64]");
+  }
+  if (graph_vertices < 256 || graph_vertices > (1 << 22)) {
+    fail("graph_vertices must be in [256, 4194304]");
+  }
+  if (graph_skew < 0.0 || graph_skew > 1.5) {
+    fail("graph_skew must be in [0, 1.5]");
+  }
+  if (app != "graph" && (graph_vertices != 4096 || graph_skew != 0.8)) {
+    fail("graph_vertices/graph_skew require app=graph");
+  }
   const auto& lb_names = charm::load_balancer_names();
   if (std::find(lb_names.begin(), lb_names.end(), lb_strategy) ==
       lb_names.end()) {
-    fail("unknown lb_strategy '" + lb_strategy + "'; known: null greedy refine");
+    fail("unknown lb_strategy '" + lb_strategy +
+         "'; known: null greedy refine commrefine");
   }
   if (axis == SweepAxis::kLbStrategy) {
     for (const double v : axis_values) {
@@ -240,8 +270,37 @@ void ScenarioSpec::validate() const {
       }
     }
   }
-  if (axis == SweepAxis::kRefineRate || axis == SweepAxis::kLbStrategy) {
+  if (axis == SweepAxis::kRefineRate) {
     if (app != "amr") fail("axis '" + to_string(axis) + "' requires app=amr");
+  }
+  if (axis == SweepAxis::kLbStrategy) {
+    if (app != "amr" && app != "graph") {
+      fail("axis '" + to_string(axis) + "' requires app=amr or app=graph");
+    }
+  }
+  if (axis == SweepAxis::kGraphSkew) {
+    if (app != "graph") {
+      fail("axis '" + to_string(axis) + "' requires app=graph");
+    }
+    for (const double v : axis_values) {
+      if (v < 0.0 || v > 1.5) {
+        fail("graph_skew sweep values must be in [0, 1.5]");
+      }
+    }
+  }
+  if (axis == SweepAxis::kNetOversub) {
+    if (app != "graph") {
+      fail("axis '" + to_string(axis) + "' requires app=graph");
+    }
+    if (net_model == "flat") {
+      fail("axis 'net_oversub' needs a topology: set net_model=fattree or "
+           "dragonfly");
+    }
+    for (const double v : axis_values) {
+      if (v < 1.0 || v > 64.0) {
+        fail("net_oversub sweep values must be in [1, 64]");
+      }
+    }
   }
   if (axis == SweepAxis::kFaultMtbf || axis == SweepAxis::kCheckpointPeriod) {
     for (const double v : axis_values) {
@@ -287,6 +346,7 @@ const std::vector<std::string>& spec_config_keys() {
       "pods_per_job",
       "submission_gap", "rescale_gap", "calibrated",   "policies",
       "app",            "refine_rate", "lb_strategy",
+      "net_model",      "net_oversub", "graph_vertices", "graph_skew",
       "fault_times",    "fault_mtbf", "evict_times",   "straggler_at",
       "straggler_factor", "checkpoint_period", "fault_detection",
       "max_failed_nodes",
@@ -312,9 +372,17 @@ std::string spec_config_help() {
       "  calibrated=true         minicharm-calibrated step-time curves\n"
       "  policies=all            comma list: min_replicas,max_replicas,"
       "moldable,elastic\n"
-      "  app=jacobi              jacobi | amr (irregular adaptive mesh)\n"
+      "  app=jacobi              jacobi | amr (adaptive mesh) | graph\n"
+      "                          (power-law graph supersteps)\n"
       "  refine_rate=0.12        AMR refinement-event rate per patch/iter\n"
-      "  lb_strategy=greedy      runtime LB: null | greedy | refine\n"
+      "  lb_strategy=greedy      runtime LB: null | greedy | refine |\n"
+      "                          commrefine (communication-aware)\n"
+      "  net_model=flat          flat | fattree | dragonfly (graph only;\n"
+      "                          topology models add link contention)\n"
+      "  net_oversub=1           core-level oversubscription factor\n"
+      "                          (needs net_model=fattree|dragonfly)\n"
+      "  graph_vertices=4096     graph app vertex count (medium class)\n"
+      "  graph_skew=0.8          power-law exponent of the degree law\n"
       "  fault_times=            comma list of node-crash virtual times (s)\n"
       "  fault_mtbf=0            deterministic crash chain period (s); 0 off\n"
       "  evict_times=            comma list of pod-eviction virtual times (s)\n"
@@ -360,6 +428,10 @@ ScenarioSpec spec_from_config(const Config& cfg, ScenarioSpec base) {
   if (auto v = cfg.get("app")) spec.app = *v;
   spec.refine_rate = cfg.get_double("refine_rate", spec.refine_rate);
   if (auto v = cfg.get("lb_strategy")) spec.lb_strategy = *v;
+  if (auto v = cfg.get("net_model")) spec.net_model = *v;
+  spec.net_oversub = cfg.get_double("net_oversub", spec.net_oversub);
+  spec.graph_vertices = cfg.get_int("graph_vertices", spec.graph_vertices);
+  spec.graph_skew = cfg.get_double("graph_skew", spec.graph_skew);
   if (auto v = cfg.get("fault_times")) spec.faults.crash_times = parse_values(*v);
   spec.faults.crash_mtbf_s =
       cfg.get_double("fault_mtbf", spec.faults.crash_mtbf_s);
@@ -419,6 +491,21 @@ std::string describe(const ScenarioSpec& spec) {
   if (spec.app == "amr") {
     out += " refine_rate=" + format_double(spec.refine_rate, 3);
     out += " lb_strategy=" + spec.lb_strategy;
+  }
+  // Graph/network keys render only when set, so specs predating the graph
+  // app and the topology seam describe() byte-identically (recorded bench
+  // configs).
+  if (spec.app == "graph") {
+    out += " graph_vertices=" + std::to_string(spec.graph_vertices);
+    out += " graph_skew=" + format_double(spec.graph_skew, 3);
+    out += " lb_strategy=" + spec.lb_strategy;
+  }
+  if (spec.net_model != "flat") {
+    out += " net_model=" + spec.net_model;
+    out += " net_oversub=" +
+           format_double(spec.net_oversub,
+                         std::floor(spec.net_oversub) == spec.net_oversub ? 0
+                                                                          : 3);
   }
   if (!spec.faults.empty()) {
     if (!spec.faults.crash_times.empty()) {

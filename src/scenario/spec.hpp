@@ -18,10 +18,12 @@ std::string to_string(Substrate s);
 /// Parse "schedsim" / "cluster"; throws ConfigError on anything else.
 Substrate substrate_from_string(const std::string& name);
 
-/// The parameter an experiment sweeps, one point per value. kRefineRate and
-/// kLbStrategy re-calibrate the workload models per point: kRefineRate
-/// sweeps the AMR refinement-event rate, kLbStrategy sweeps the runtime
-/// load balancer (values index `charm::load_balancer_names()`).
+/// The parameter an experiment sweeps, one point per value. kRefineRate,
+/// kLbStrategy, kGraphSkew and kNetOversub re-calibrate the workload models
+/// per point: kRefineRate sweeps the AMR refinement-event rate, kLbStrategy
+/// sweeps the runtime load balancer (values index
+/// `charm::load_balancer_names()`), kGraphSkew sweeps the graph app's
+/// power-law exponent and kNetOversub the topology oversubscription factor.
 /// kFaultMtbf and kCheckpointPeriod sweep the failure plan (crash MTBF and
 /// checkpoint cadence in seconds); they change injection, not calibration.
 enum class SweepAxis {
@@ -32,12 +34,14 @@ enum class SweepAxis {
   kLbStrategy,
   kFaultMtbf,
   kCheckpointPeriod,
+  kGraphSkew,
+  kNetOversub,
 };
 
 std::string to_string(SweepAxis a);
 /// Parse "none" / "submission_gap" / "rescale_gap" / "refine_rate" /
-/// "lb_strategy" / "fault_mtbf" / "checkpoint_period"; throws ConfigError
-/// on anything else.
+/// "lb_strategy" / "fault_mtbf" / "checkpoint_period" / "graph_skew" /
+/// "net_oversub"; throws ConfigError on anything else.
 SweepAxis sweep_axis_from_string(const std::string& name);
 
 /// True for axes whose value changes the workload calibration itself (the
@@ -72,13 +76,23 @@ struct ScenarioSpec {
   int pods_per_job = 0;
 
   // Which application the workload models are calibrated from: "jacobi"
-  // (the paper's regular stencil) or "amr" (the irregular adaptive-mesh
-  // workload, always minicharm-calibrated). For "amr", `refine_rate` sets
-  // the refinement-event rate and `lb_strategy` the runtime load balancer
-  // used during the calibration runs.
+  // (the paper's regular stencil), "amr" (the irregular adaptive-mesh
+  // workload, always minicharm-calibrated) or "graph" (the power-law graph
+  // superstep workload). For "amr", `refine_rate` sets the refinement-event
+  // rate; `lb_strategy` picks the runtime load balancer used during the
+  // calibration runs for both irregular apps.
   std::string app = "jacobi";
   double refine_rate = 0.12;
   std::string lb_strategy = "greedy";
+
+  // Network model the graph calibration runs under ("flat" keeps the
+  // classic alpha-beta cost model; "fattree"/"dragonfly" add per-link
+  // contention) and its topology parameters. Graph-only: jacobi/amr
+  // calibrations predate the topology seam and keep the flat model.
+  std::string net_model = "flat";
+  double net_oversub = 1.0;
+  int graph_vertices = 4096;
+  double graph_skew = 0.8;
 
   // Policy configuration shared by every policy in `policies`.
   double rescale_gap_s = 180.0;

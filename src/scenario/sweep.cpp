@@ -86,6 +86,12 @@ ScenarioSpec at_axis_value(const ScenarioSpec& spec, double value) {
     case SweepAxis::kCheckpointPeriod:
       point.faults.checkpoint_period_s = value;
       break;
+    case SweepAxis::kGraphSkew:
+      point.graph_skew = value;
+      break;
+    case SweepAxis::kNetOversub:
+      point.net_oversub = value;
+      break;
   }
   return point;
 }
@@ -104,8 +110,8 @@ SweepResult run_sweep(const ScenarioSpec& spec, int threads) {
 
   // Calibrate workload models before fanning out, so the parallel cells
   // only read shared immutable state. Axes that change the calibration
-  // itself (refine_rate, lb_strategy) get one model set per point;
-  // everything else shares a single set.
+  // itself (refine_rate, lb_strategy, graph_skew, net_oversub) get one
+  // model set per point; everything else shares a single set.
   std::vector<std::map<elastic::JobClass, elastic::Workload>> workloads;
   if (axis_affects_workloads(spec.axis)) {
     workloads.reserve(num_points);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <mutex>
+#include <tuple>
 #include <utility>
 
 #include "apps/calibration.hpp"
+#include "net/network_model.hpp"
 
 namespace ehpc::schedsim {
 
@@ -87,6 +89,72 @@ std::map<JobClass, Workload> amr_calibrated_workloads(
     // front-driven imbalance is pronounced.
     const apps::LbProfile profile =
         apps::measure_amr_lb_profile(config, /*replicas=*/16, /*lb_period=*/4, rc);
+    workload.lb.post_ratio = profile.post_ratio;
+    workload.lb.migrations_per_step = profile.migrations_per_step;
+  }
+  return cache.emplace(key, std::move(out)).first->second;
+}
+
+apps::GraphConfig graph_config_for(JobClass c, int vertices, double skew) {
+  apps::GraphConfig config;
+  // Vertex counts scale with the class around the scenario's base size;
+  // parts grow more slowly (heavier parts per chare on big classes), and
+  // are capped so a tiny configured graph still partitions legally.
+  switch (c) {
+    case JobClass::kSmall:
+      config.vertices = std::max(2, vertices / 2);
+      config.parts = 48;
+      break;
+    case JobClass::kMedium:
+      config.vertices = vertices;
+      config.parts = 64;
+      break;
+    case JobClass::kLarge:
+      config.vertices = vertices * 2;
+      config.parts = 96;
+      break;
+    case JobClass::kXLarge:
+      config.vertices = vertices * 4;
+      config.parts = 128;
+      break;
+  }
+  config.parts = std::min(config.parts, config.vertices);
+  config.skew = skew;
+  config.max_iterations = 10;
+  return config;
+}
+
+std::map<JobClass, Workload> graph_calibrated_workloads(
+    int vertices, double skew, const std::string& lb_strategy,
+    const std::string& net_model, double net_oversub) {
+  // Memoized like the AMR calibration: the measurement is deterministic in
+  // the key, and sweeps re-request the same point many times.
+  static std::mutex mutex;
+  static std::map<
+      std::tuple<int, double, std::string, std::string, double>,
+      std::map<JobClass, Workload>>
+      cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto key =
+      std::make_tuple(vertices, skew, lb_strategy, net_model, net_oversub);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+
+  std::map<JobClass, Workload> out = analytic_workloads();
+  const std::vector<int> replicas{1, 4, 16, 64};
+  charm::RuntimeConfig rc;
+  rc.load_balancer = lb_strategy;
+  // 4 PEs per node so 64 replicas span 16 nodes (4 racks of the radix-4
+  // topology): rack locality actually varies with placement.
+  rc.pes_per_node = 4;
+  rc.network = net::make_network_model(net_model, net_oversub);
+  for (auto& [cls, workload] : out) {
+    const apps::GraphConfig config = graph_config_for(cls, vertices, skew);
+    workload.time_per_step = apps::scaling_curve(
+        apps::measure_graph_scaling(config, replicas, /*lb_period=*/4, rc));
+    // LB behaviour per rescale: measured where the hub parts are spread
+    // over multiple racks.
+    const apps::LbProfile profile = apps::measure_graph_lb_profile(
+        config, /*replicas=*/16, /*lb_period=*/4, rc);
     workload.lb.post_ratio = profile.post_ratio;
     workload.lb.migrations_per_step = profile.migrations_per_step;
   }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "apps/amr.hpp"
+#include "apps/graph.hpp"
 #include "elastic/workload.hpp"
 
 namespace ehpc::schedsim {
@@ -27,5 +28,20 @@ apps::AmrConfig amr_config_for(elastic::JobClass c, double refine_rate);
 /// replica count. Deterministic, like `calibrated_workloads`.
 std::map<elastic::JobClass, elastic::Workload> amr_calibrated_workloads(
     double refine_rate, const std::string& lb_strategy);
+
+/// The per-class graph configuration the comm-skewed calibration runs use
+/// (vertex count and part count grow with the class).
+apps::GraphConfig graph_config_for(elastic::JobClass c, int vertices,
+                                   double skew);
+
+/// Communication-skewed power-law graph workloads: step-time curves and the
+/// LB profile are measured by running the graph app on minicharm with
+/// `lb_strategy` under the `net_model` network ("flat" | "fattree" |
+/// "dragonfly", oversubscribed by `net_oversub`). Hub traffic over a
+/// contended topology is what separates "commrefine" from compute-only
+/// strategies here. Deterministic and memoized like the AMR variant.
+std::map<elastic::JobClass, elastic::Workload> graph_calibrated_workloads(
+    int vertices, double skew, const std::string& lb_strategy,
+    const std::string& net_model, double net_oversub);
 
 }  // namespace ehpc::schedsim

@@ -1,0 +1,107 @@
+// The NetworkModel seam itself: the flat model must be bit-identical to the
+// concrete CostModel it wraps (every pre-existing baseline was recorded
+// against that math), the factory must parse the scenario-facing kinds, and
+// clone() must produce independent contention state.
+
+#include "net/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace ehpc::net {
+namespace {
+
+TEST(FlatNetworkModel, IsBitIdenticalToTheCostModelItWraps) {
+  const CostModel base = presets::pod_network();
+  const FlatNetworkModel model(base);
+  const std::pair<int, int> routes[] = {{0, 0}, {0, 1}, {3, 17}};
+  for (const std::size_t bytes : {0u, 1u, 64u, 4096u, 1u << 20}) {
+    for (const auto& [src, dst] : routes) {
+      EXPECT_EQ(model.message_time(bytes, src, dst),
+                base.message_time(bytes, src, dst));
+    }
+  }
+  EXPECT_EQ(model.inter_alpha(), base.inter_alpha());
+}
+
+TEST(FlatNetworkModel, BeginTransferIsTheStatelessPrice) {
+  FlatNetworkModel model(presets::pod_network());
+  const double lone = model.message_time(4096, 0, 1);
+  // However many transfers depart in the same instant, a flat model never
+  // charges contention.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(model.begin_transfer(4096, 0, 1, 0.0), lone);
+  }
+}
+
+TEST(NetworkModel, DefaultCollectiveLatencyIsTheClassicTreeFloor) {
+  const FlatNetworkModel model(presets::pod_network());
+  const double alpha = model.inter_alpha();
+  // ceil(log2(max(pes, 2))) * inter_alpha, bit-for-bit: this is the exact
+  // expression the runtime used before the seam existed.
+  EXPECT_EQ(model.collective_latency(1, 0.0), alpha);
+  EXPECT_EQ(model.collective_latency(2, 0.0), alpha);
+  EXPECT_EQ(model.collective_latency(5, 0.0), 3.0 * alpha);
+  EXPECT_EQ(model.collective_latency(64, 0.0), 6.0 * alpha);
+  EXPECT_EQ(model.collective_latency(65, 0.0), 7.0 * alpha);
+}
+
+TEST(NetworkModel, DefaultModelIsFlatOverThePodNetwork) {
+  const auto model = default_network_model();
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->name(), "flat");
+  const CostModel pod = presets::pod_network();
+  EXPECT_EQ(model->message_time(65536, 0, 1), pod.message_time(65536, 0, 1));
+  // Process-wide singleton: configs seeded from it share one instance.
+  EXPECT_EQ(default_network_model().get(), model.get());
+}
+
+TEST(MakeNetworkModel, BuildsEveryAdvertisedKind) {
+  EXPECT_EQ(make_network_model("flat")->name(), "flat");
+  EXPECT_EQ(make_network_model("fattree", 2.0)->name(), "fattree");
+  EXPECT_EQ(make_network_model("dragonfly", 2.0)->name(), "dragonfly");
+}
+
+TEST(MakeNetworkModel, RejectsUnknownKindsAndBadOversub) {
+  EXPECT_THROW(make_network_model("torus"), PreconditionError);
+  EXPECT_THROW(make_network_model(""), PreconditionError);
+  EXPECT_THROW(make_network_model("fattree", 0.0), PreconditionError);
+  EXPECT_THROW(make_network_model("fattree", -2.0), PreconditionError);
+}
+
+TEST(MakeNetworkModel, DescribeNamesTheTopology) {
+  EXPECT_EQ(make_network_model("fattree", 4.0)->describe(),
+            "fattree(radix=4,oversub=4)");
+  const std::string flat = make_network_model("flat")->describe();
+  EXPECT_NE(flat.find("flat("), std::string::npos);
+}
+
+TEST(NetworkModel, CloneProducesIndependentContentionState) {
+  auto original = make_network_model("fattree", 2.0);
+  auto* contended = dynamic_cast<ContentionNetworkModel*>(original.get());
+  ASSERT_NE(contended, nullptr);
+
+  auto copy = original->clone();
+  auto* copied = dynamic_cast<ContentionNetworkModel*>(copy.get());
+  ASSERT_NE(copied, nullptr);
+
+  // Saturate the original; the clone must stay quiet.
+  for (int i = 0; i < 6; ++i) contended->begin_transfer(4096, 0, 1, 0.0);
+  EXPECT_GT(contended->sharing_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(copied->sharing_at(0.0), 1.0);
+  EXPECT_TRUE(copied->link_stats().empty());
+
+  // And vice versa: a clone taken after traffic starts fresh.
+  auto late = contended->clone();
+  auto* late_c = dynamic_cast<ContentionNetworkModel*>(late.get());
+  ASSERT_NE(late_c, nullptr);
+  EXPECT_TRUE(late_c->link_stats().empty());
+  EXPECT_DOUBLE_EQ(late_c->sharing_at(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace ehpc::net

@@ -1,0 +1,109 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ehpc::net {
+namespace {
+
+TEST(Topology, IntraNodeTrafficNeverTouchesTheFabric) {
+  const Topology t = Topology::fat_tree(4, 2.0);
+  std::vector<LinkId> path{123};  // stale content must be cleared
+  t.path(7, 7, &path);
+  EXPECT_TRUE(path.empty());
+}
+
+TEST(Topology, FatTreeSameRackCrossesTwoLinks) {
+  const Topology t = Topology::fat_tree(4, 2.0);
+  std::vector<LinkId> path;
+  t.path(0, 3, &path);  // nodes 0..3 share rack 0
+  EXPECT_EQ(path.size(), 2u);
+  for (const LinkId link : path) {
+    EXPECT_DOUBLE_EQ(t.bandwidth_share(link), 1.0);
+  }
+}
+
+TEST(Topology, FatTreeCrossRackAddsTheCoreLinks) {
+  const Topology t = Topology::fat_tree(4, 2.0);
+  std::vector<LinkId> path;
+  t.path(1, 6, &path);  // rack 0 -> rack 1
+  ASSERT_EQ(path.size(), 4u);
+  // The two middle links are the racks' core uplink/downlink, whose
+  // bandwidth is radix/oversub = 2x the access link.
+  EXPECT_DOUBLE_EQ(t.bandwidth_share(path[1]), 2.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_share(path[2]), 2.0);
+}
+
+TEST(Topology, DragonflySameGroupUsesTheLocalChannel) {
+  const Topology t = Topology::dragonfly(4, 2.0);
+  std::vector<LinkId> path;
+  t.path(0, 3, &path);
+  ASSERT_EQ(path.size(), 3u);
+  // The middle link is the group-local all-to-all channel: share = radix.
+  EXPECT_DOUBLE_EQ(t.bandwidth_share(path[1]), 4.0);
+}
+
+TEST(Topology, DragonflyCrossGroupMatchesFatTreeShape) {
+  const Topology t = Topology::dragonfly(4, 8.0);
+  std::vector<LinkId> path;
+  t.path(0, 5, &path);
+  ASSERT_EQ(path.size(), 4u);
+  // Global links carry radix/oversub = 0.5 of the access bandwidth: an
+  // oversubscription past the radix makes even a lone cross-group transfer
+  // slower than the access link.
+  EXPECT_DOUBLE_EQ(t.bandwidth_share(path[1]), 0.5);
+}
+
+TEST(Topology, GroupOfIsContiguous) {
+  const Topology t = Topology::fat_tree(4, 1.0);
+  EXPECT_EQ(t.group_of(0), 0);
+  EXPECT_EQ(t.group_of(3), 0);
+  EXPECT_EQ(t.group_of(4), 1);
+  EXPECT_EQ(t.group_of(41), 10);
+}
+
+TEST(Topology, PathsAreSymmetricInLinkCountAndDeterministic) {
+  const Topology t = Topology::fat_tree(4, 2.0);
+  std::vector<LinkId> ab;
+  std::vector<LinkId> ba;
+  t.path(2, 9, &ab);
+  t.path(9, 2, &ba);
+  EXPECT_EQ(ab.size(), ba.size());
+  std::vector<LinkId> again;
+  t.path(2, 9, &again);
+  EXPECT_EQ(ab, again);
+}
+
+TEST(Topology, DistinctNodePairsShareCoreLinksOfTheirRacks) {
+  const Topology t = Topology::fat_tree(4, 2.0);
+  std::vector<LinkId> a;
+  std::vector<LinkId> b;
+  t.path(0, 4, &a);  // rack 0 -> rack 1
+  t.path(1, 5, &b);  // rack 0 -> rack 1, different endpoints
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  // Same core uplink/downlink (that is what makes rack uplinks contended),
+  // distinct node access links.
+  EXPECT_EQ(a[1], b[1]);
+  EXPECT_EQ(a[2], b[2]);
+  EXPECT_NE(a[0], b[0]);
+  EXPECT_NE(a[3], b[3]);
+}
+
+TEST(Topology, DescribeNamesShapeAndParameters) {
+  EXPECT_EQ(Topology::fat_tree(4, 2.0).describe(), "fattree(radix=4,oversub=2)");
+  EXPECT_EQ(Topology::dragonfly(8, 1.5).describe(),
+            "dragonfly(radix=8,oversub=1.5)");
+}
+
+TEST(Topology, RejectsDegenerateParameters) {
+  EXPECT_THROW(Topology::fat_tree(0, 1.0), PreconditionError);
+  EXPECT_THROW(Topology::fat_tree(4, 0.0), PreconditionError);
+  EXPECT_THROW(Topology::fat_tree(4, 1.0, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ehpc::net

@@ -44,7 +44,7 @@ TEST(AmrScenarios, AllThreeAreRegisteredAndValid) {
 
 TEST(AmrScenarios, SpecValidationRejectsBadAmrParameters) {
   ScenarioSpec spec = small_amr_spec();
-  spec.app = "graph";
+  spec.app = "lulesh";
   EXPECT_THROW(spec.validate(), ConfigError);
 
   spec = small_amr_spec();
@@ -58,7 +58,7 @@ TEST(AmrScenarios, SpecValidationRejectsBadAmrParameters) {
   // lb_strategy sweep values must index load_balancer_names().
   spec = small_amr_spec();
   spec.axis = SweepAxis::kLbStrategy;
-  spec.axis_values = {0.0, 3.0};
+  spec.axis_values = {0.0, 4.0};
   EXPECT_THROW(spec.validate(), ConfigError);
   spec.axis_values = {0.5};
   EXPECT_THROW(spec.validate(), ConfigError);

@@ -1,0 +1,201 @@
+// The power-law graph scenarios: registry entries, the net_model /
+// net_oversub / graph_vertices / graph_skew config keys, only-when-set
+// describe() output, per-point workload re-calibration, and parallel
+// determinism on both substrates (these run in the tsan/asan CI lanes like
+// every scenario test — keep the specs small).
+
+#include <gtest/gtest.h>
+
+#include "expect_identical.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
+
+namespace ehpc::scenario {
+namespace {
+
+using elastic::PolicyMode;
+
+/// A small graph spec: a tiny graph and few jobs/repeats so TSan stays
+/// fast, with the fat-tree network so the topology path is exercised.
+ScenarioSpec small_graph_spec() {
+  ScenarioSpec spec;
+  spec.app = "graph";
+  spec.graph_vertices = 256;
+  spec.graph_skew = 0.9;
+  spec.num_jobs = 6;
+  spec.submission_gap_s = 30.0;
+  spec.rescale_gap_s = 0.0;
+  spec.repeats = 2;
+  spec.policies = {PolicyMode::kElastic};
+  return spec;
+}
+
+TEST(GraphScenarios, BothAreRegisteredAndValid) {
+  auto& registry = ScenarioRegistry::instance();
+  for (const char* name : {"graph_superstep", "graph_lb_ablation"}) {
+    const ScenarioSpec* spec = registry.find(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_EQ(spec->app, "graph") << name;
+    EXPECT_NO_THROW(spec->validate()) << name;
+  }
+  EXPECT_EQ(registry.require("graph_superstep").axis, SweepAxis::kGraphSkew);
+  const ScenarioSpec& ablation = registry.require("graph_lb_ablation");
+  EXPECT_EQ(ablation.axis, SweepAxis::kLbStrategy);
+  EXPECT_EQ(ablation.net_model, "fattree");
+  EXPECT_DOUBLE_EQ(ablation.net_oversub, 4.0);
+}
+
+TEST(GraphScenarios, SpecValidationRejectsBadGraphParameters) {
+  ScenarioSpec spec = small_graph_spec();
+  spec.net_model = "torus";
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  // A topology model without the graph app has nothing to price.
+  spec = ScenarioSpec{};  // app = jacobi
+  spec.net_model = "fattree";
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  // Oversubscription only means something on a topology model.
+  spec = small_graph_spec();
+  spec.net_oversub = 4.0;  // net_model still "flat"
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = small_graph_spec();
+  spec.net_model = "fattree";
+  spec.net_oversub = 0.5;
+  EXPECT_THROW(spec.validate(), ConfigError);
+  spec.net_oversub = 100.0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = small_graph_spec();
+  spec.graph_vertices = 100;  // below the floor
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = small_graph_spec();
+  spec.graph_skew = 2.0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  // Graph knobs on a non-graph app are a config mistake, not a no-op.
+  spec = ScenarioSpec{};
+  spec.graph_vertices = 512;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  // Sweep axes bound their values and require the graph app.
+  spec = small_graph_spec();
+  spec.axis = SweepAxis::kGraphSkew;
+  spec.axis_values = {0.0, 2.0};
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = ScenarioSpec{};
+  spec.axis = SweepAxis::kGraphSkew;
+  spec.axis_values = {0.0, 0.5};
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = small_graph_spec();
+  spec.axis = SweepAxis::kNetOversub;
+  spec.axis_values = {1.0, 8.0};  // net_model still "flat"
+  EXPECT_THROW(spec.validate(), ConfigError);
+  spec.net_model = "fattree";
+  EXPECT_NO_THROW(spec.validate());
+  spec.axis_values = {0.5};
+  EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(GraphScenarios, ConfigKeysRoundTripThroughSpecFromConfig) {
+  const char* argv[] = {"test",           "scenario=graph_lb_ablation",
+                        "graph_vertices=512", "graph_skew=0.5",
+                        "net_model=dragonfly", "net_oversub=8",
+                        "lb_strategy=commrefine", "repeats=2"};
+  const Config cfg = Config::from_args(8, argv, scenario_config_keys());
+  const ScenarioSpec spec = resolve_scenario(cfg);
+  EXPECT_EQ(spec.name, "graph_lb_ablation");
+  EXPECT_EQ(spec.graph_vertices, 512);
+  EXPECT_DOUBLE_EQ(spec.graph_skew, 0.5);
+  EXPECT_EQ(spec.net_model, "dragonfly");
+  EXPECT_DOUBLE_EQ(spec.net_oversub, 8.0);
+  EXPECT_EQ(spec.lb_strategy, "commrefine");
+  const std::string text = describe(spec);
+  EXPECT_NE(text.find("graph_vertices=512"), std::string::npos);
+  EXPECT_NE(text.find("graph_skew=0.5"), std::string::npos);
+  EXPECT_NE(text.find("net_model=dragonfly"), std::string::npos);
+  EXPECT_NE(text.find("net_oversub=8"), std::string::npos);
+  EXPECT_NE(text.find("lb_strategy=commrefine"), std::string::npos);
+}
+
+TEST(GraphScenarios, DescribeRendersGraphKeysOnlyWhenSet) {
+  // Pre-existing specs must describe() byte-identically to before the graph
+  // app existed: no graph_* or net_* tokens on the default spec.
+  const std::string plain = describe(ScenarioSpec{});
+  EXPECT_EQ(plain.find("graph_"), std::string::npos);
+  EXPECT_EQ(plain.find("net_"), std::string::npos);
+
+  ScenarioSpec amr;
+  amr.app = "amr";
+  const std::string amr_text = describe(amr);
+  EXPECT_EQ(amr_text.find("graph_"), std::string::npos);
+  EXPECT_EQ(amr_text.find("net_"), std::string::npos);
+
+  // Flat-network graph specs name the graph but not the network.
+  const std::string graph_flat = describe(small_graph_spec());
+  EXPECT_NE(graph_flat.find("graph_vertices=256"), std::string::npos);
+  EXPECT_EQ(graph_flat.find("net_model"), std::string::npos);
+}
+
+TEST(GraphScenarios, SkewSweepRecalibratesPerPoint) {
+  ScenarioSpec spec = small_graph_spec();
+  spec.axis = SweepAxis::kGraphSkew;
+  spec.axis_values = {0.0, 0.9};
+  const auto sweep = run_sweep(spec, 1);
+  ASSERT_EQ(sweep.points.size(), 2u);
+  // Different skew -> different measured step-time curves -> different
+  // completions. (Equality would mean the calibration ignored the axis.)
+  EXPECT_NE(
+      sweep.points[0].metrics.at(PolicyMode::kElastic).weighted_completion_s,
+      sweep.points[1].metrics.at(PolicyMode::kElastic).weighted_completion_s);
+}
+
+TEST(GraphScenarios, SkewSweepIsBitIdenticalAcrossThreadCounts) {
+  ScenarioSpec spec = small_graph_spec();
+  spec.axis = SweepAxis::kGraphSkew;
+  spec.axis_values = {0.0, 0.9};
+  expect_identical(run_sweep(spec, 1), run_sweep(spec, 8));
+}
+
+TEST(GraphScenarios, OversubSweepIsBitIdenticalAcrossThreadCounts) {
+  ScenarioSpec spec = small_graph_spec();
+  spec.net_model = "fattree";
+  spec.axis = SweepAxis::kNetOversub;
+  spec.axis_values = {1.0, 8.0};
+  expect_identical(run_sweep(spec, 1), run_sweep(spec, 8));
+}
+
+TEST(GraphScenarios, ClusterSubstrateIsBitIdenticalAcrossThreadCounts) {
+  ScenarioSpec spec = small_graph_spec();
+  spec.substrate = Substrate::kCluster;
+  spec.num_jobs = 4;
+  spec.net_model = "fattree";
+  spec.net_oversub = 4.0;
+  spec.axis = SweepAxis::kLbStrategy;
+  spec.axis_values = {1.0, 3.0};  // greedy, commrefine
+  expect_identical(run_sweep(spec, 1), run_sweep(spec, 8));
+}
+
+TEST(GraphScenarios, BothSubstratesRunTheRegisteredScenarios) {
+  for (const char* name : {"graph_superstep", "graph_lb_ablation"}) {
+    for (const Substrate substrate :
+         {Substrate::kSchedSim, Substrate::kCluster}) {
+      ScenarioSpec spec = ScenarioRegistry::instance().require(name);
+      spec.substrate = substrate;
+      spec.repeats = 1;
+      spec.num_jobs = 3;
+      spec.graph_vertices = 256;
+      if (spec.axis_values.size() > 2) spec.axis_values.resize(2);
+      const auto sweep = run_sweep(spec, 2);
+      ASSERT_EQ(sweep.points.size(), spec.axis_values.size())
+          << name << " on " << to_string(substrate);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ehpc::scenario
